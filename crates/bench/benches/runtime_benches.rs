@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the runtime: per-benchmark sequential
+//! pass vs parallel execution, and the cost of looped vs scalar joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsynt_runtime::{Backend, RunConfig};
+use parsynt_suite::native::workload;
+
+const ELEMENTS: usize = 1_000_000;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends");
+    group.sample_size(10);
+    for id in ["sum", "mbbs", "mtls", "mode"] {
+        let w = workload(id).expect("registered");
+        let prepared = (w.prepare)(ELEMENTS, 7);
+        group.bench_with_input(BenchmarkId::new("sequential", id), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(prepared.sequential()));
+        });
+        for (name, backend) in [
+            ("static4", Backend::Static),
+            ("stealing4", Backend::WorkStealing),
+        ] {
+            let cfg = RunConfig {
+                threads: 4,
+                grain: 4_096,
+                backend,
+            };
+            group.bench_with_input(BenchmarkId::new(name, id), &(), |b, ()| {
+                b.iter(|| std::hint::black_box(prepared.parallel(cfg)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_grain_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grain");
+    group.sample_size(10);
+    let w = workload("sum").expect("registered");
+    let prepared = (w.prepare)(ELEMENTS, 9);
+    for grain in [256usize, 4_096, 50_000] {
+        let cfg = RunConfig::work_stealing(4).with_grain(grain);
+        group.bench_with_input(BenchmarkId::from_parameter(grain), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(prepared.parallel(cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_grain_sensitivity);
+criterion_main!(benches);

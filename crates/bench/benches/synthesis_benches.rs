@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the synthesis substrates: the
+//! normalization engine (the paper's "lightning fast" lifting claim) and
+//! join synthesis on small instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsynt_lang::ast::{Expr, Interner, Sym};
+use parsynt_lang::parse;
+use parsynt_lift::discovery::discover;
+use parsynt_rewrite::cost::Phase1Cost;
+use parsynt_rewrite::normalize::Normalizer;
+use parsynt_synth::examples::InputProfile;
+use parsynt_synth::join::synthesize_join;
+use parsynt_synth::report::SynthConfig;
+
+fn mbbs_unfolding() -> (Sym, Expr) {
+    let mut i = Interner::new();
+    let s_sym = i.intern("s");
+    let s = Expr::var(s_sym);
+    let a1 = Expr::var(i.intern("a1"));
+    let a2 = Expr::var(i.intern("a2"));
+    let step1 = Expr::max(Expr::add(s, a1), Expr::int(0));
+    let step2 = Expr::max(Expr::add(step1, a2), Expr::int(0));
+    (s_sym, step2)
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let (s_sym, unfolding) = mbbs_unfolding();
+    let cost = Phase1Cost::new(move |x: Sym| x == s_sym);
+    let normalizer = Normalizer::new();
+    c.bench_function("normalize_mbbs_unfolding", |b| {
+        b.iter(|| std::hint::black_box(normalizer.run(&unfolding, &cost).best_cost));
+    });
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let p = parse(
+        "input a : seq<int>; state m : int = 0;\n\
+         for i in 0 .. len(a) { m = max(m + a[i], 0); }",
+    )
+    .unwrap();
+    c.bench_function("discover_sum_aux", |b| {
+        b.iter(|| std::hint::black_box(discover(&p).specs.len()));
+    });
+}
+
+fn bench_join_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_synthesis");
+    group.sample_size(10);
+    group.bench_function("sum_join", |b| {
+        b.iter(|| {
+            let mut p = parse(
+                "input a : seq<int>; state s : int = 0;\n\
+                 for i in 0 .. len(a) { s = s + a[i]; }",
+            )
+            .unwrap();
+            let (r, _) =
+                synthesize_join(&mut p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+            assert!(r.join.is_some());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_normalization,
+    bench_discovery,
+    bench_join_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates **Figure 9**: speedup relative to the sequential run for
+//! every parallelizable benchmark, across thread counts 1..32, using the
+//! work-stealing ("TBB") backend with the paper's 50k grain size.
+//!
+//! The paper's hardware is a 64-core Xeon with 2bn-element inputs; here
+//! sizes default to 4×10⁷ elements and curves saturate at the host's
+//! core count — the *shape* (near-linear for cheap joins, flatter for
+//! looped joins and bp's map-only pipeline) is the reproduced claim.
+//!
+//! Usage: `figure9 [--elements N] [--threads 1,2,4,...] [--filter s]
+//!                 [--reps R] [--csv out.csv]`
+
+use parsynt_bench::measure_speedup;
+use parsynt_runtime::RunConfig;
+use parsynt_suite::native::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let elements: usize = get("--elements")
+        .map(|s| s.parse().expect("--elements"))
+        .unwrap_or(40_000_000);
+    let threads: Vec<usize> = get("--threads")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.parse().expect("--threads"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 24, 32]);
+    let reps: usize = get("--reps")
+        .map(|s| s.parse().expect("--reps"))
+        .unwrap_or(3);
+    let filter = get("--filter");
+    let csv = get("--csv");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# figure 9 — speedups (work-stealing backend, grain 50k)");
+    println!("# host cores: {cores}; elements per benchmark: {elements}");
+    print!("{:<22}", "benchmark");
+    for t in &threads {
+        print!(" {t:>7}");
+    }
+    println!();
+
+    let mut csv_lines = vec![format!(
+        "benchmark,{}",
+        threads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    )];
+    for w in workloads() {
+        if let Some(f) = &filter {
+            if !w.id.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let prepared = (w.prepare)(elements, 0xFEED);
+        print!("{:<22}", w.id);
+        let mut cells = Vec::new();
+        for &t in &threads {
+            let cfg = RunConfig::work_stealing(t);
+            let (seq, par) = measure_speedup(prepared.as_ref(), cfg, reps);
+            let speedup = seq.as_secs_f64() / par.as_secs_f64();
+            print!(" {speedup:>7.2}");
+            cells.push(format!("{speedup:.3}"));
+        }
+        println!();
+        csv_lines.push(format!("{},{}", w.id, cells.join(",")));
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, csv_lines.join("\n")).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates the §9 inline table: speedups at 16 threads under the
+//! OpenMP-flavoured (static) and TBB-flavoured (work-stealing) backends
+//! for one benchmark of each category — max bottom strip, mbbs, mode,
+//! and bp — matching the paper's finding that the work-stealing backend
+//! performs at least as well.
+//!
+//! Usage: `openmp_vs_tbb [--elements N] [--threads T] [--reps R]`
+
+use parsynt_bench::measure_speedup;
+use parsynt_runtime::{Backend, RunConfig};
+use parsynt_suite::native::workload;
+
+const PICKS: [(&str, f64, f64); 4] = [
+    // (benchmark, paper OpenMP speedup, paper TBB speedup) at 16 threads
+    ("max_bottom_strip", 11.0, 12.7),
+    ("mbbs", 8.6, 10.7),
+    ("mode", 11.0, 11.5),
+    ("bp", 7.8, 8.9),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let elements: usize = get("--elements")
+        .map(|s| s.parse().expect("--elements"))
+        .unwrap_or(40_000_000);
+    let threads: usize = get("--threads")
+        .map(|s| s.parse().expect("--threads"))
+        .unwrap_or(16);
+    let reps: usize = get("--reps")
+        .map(|s| s.parse().expect("--reps"))
+        .unwrap_or(3);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# OpenMP-style (static) vs TBB-style (work-stealing) at {threads} threads");
+    println!("# host cores: {cores}; elements: {elements}");
+    println!(
+        "{:<18} {:>10} {:>10} | {:>10} {:>10}",
+        "benchmark", "static", "stealing", "P:OpenMP", "P:TBB"
+    );
+    for (id, paper_omp, paper_tbb) in PICKS {
+        let w = workload(id).expect("registered workload");
+        let prepared = (w.prepare)(elements, 0xBEEF);
+        let static_cfg = RunConfig {
+            threads,
+            grain: 50_000,
+            backend: Backend::Static,
+        };
+        let steal_cfg = RunConfig {
+            threads,
+            grain: 50_000,
+            backend: Backend::WorkStealing,
+        };
+        let (seq_s, par_s) = measure_speedup(prepared.as_ref(), static_cfg, reps);
+        let (seq_w, par_w) = measure_speedup(prepared.as_ref(), steal_cfg, reps);
+        let sp_static = seq_s.as_secs_f64() / par_s.as_secs_f64();
+        let sp_steal = seq_w.as_secs_f64() / par_w.as_secs_f64();
+        println!(
+            "{id:<18} {sp_static:>10.2} {sp_steal:>10.2} | {paper_omp:>10.1} {paper_tbb:>10.1}"
+        );
+    }
+}

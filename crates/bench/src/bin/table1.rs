@@ -1,0 +1,151 @@
+//! Regenerates **Table 1**: per benchmark, the summarization time, the
+//! number of auxiliary accumulators discovered by lifting, and the join
+//! synthesis time — alongside the paper-reported numbers.
+//!
+//! Absolute times are not comparable (the paper uses Rosette on a
+//! laptop; we use an enumerative CEGIS engine), but the qualitative
+//! shape is: trivial joins are fast, lifted joins cost more, looped
+//! joins cost the most, bp yields map-only (the paper's †), and LCS
+//! fails (✗).
+//!
+//! Usage: `table1 [--filter substring] [--json out.json]`
+
+use parsynt_core::schema::{parallelize_with, Outcome};
+use parsynt_lang::parse;
+use parsynt_suite::{all_benchmarks, ExpectedOutcome};
+use parsynt_synth::report::SynthConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    id: String,
+    n: usize,
+    k: usize,
+    summarization_s: f64,
+    lift_ms: f64,
+    aux: usize,
+    aux_names: Vec<String>,
+    join_s: f64,
+    outcome: String,
+    expected: String,
+    as_expected: bool,
+    paper_summarization_s: f64,
+    paper_aux: usize,
+    paper_join_s: Option<f64>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    println!(
+        "{:<22} {:>2} {:>2} {:>9} {:>8} {:>4} {:>9} {:>12} | {:>9} {:>4} {:>8}",
+        "benchmark",
+        "n",
+        "k",
+        "summ(s)",
+        "lift(ms)",
+        "aux",
+        "join(s)",
+        "outcome",
+        "P:summ",
+        "P:aux",
+        "P:join"
+    );
+    println!("{}", "-".repeat(110));
+
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for b in all_benchmarks() {
+        if let Some(f) = &filter {
+            if !b.id.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let program = parse(b.source).expect("benchmark parses");
+        let cfg = SynthConfig::default();
+        let result = parallelize_with(&program, &b.profile, &cfg)
+            .unwrap_or_else(|e| panic!("pipeline error on {}: {e}", b.id));
+        let (outcome, ok) = match (&result.outcome, b.expected) {
+            (Outcome::DivideAndConquer { .. }, ExpectedOutcome::DivideAndConquer) => {
+                ("d&c".to_owned(), true)
+            }
+            (Outcome::MapOnly, ExpectedOutcome::MapOnly) => ("map-only †".to_owned(), true),
+            (Outcome::Unparallelizable { .. }, ExpectedOutcome::Fails) => {
+                ("fails ✗".to_owned(), true)
+            }
+            (o, _) => (
+                format!(
+                    "UNEXPECTED {}",
+                    match o {
+                        Outcome::DivideAndConquer { .. } => "d&c",
+                        Outcome::MapOnly => "map-only",
+                        Outcome::Unparallelizable { .. } => "fails",
+                    }
+                ),
+                false,
+            ),
+        };
+        if !ok {
+            mismatches += 1;
+        }
+        let r = &result.report;
+        let mut aux_names = r.aux_memoryless.clone();
+        aux_names.extend(r.aux_homomorphism.iter().cloned());
+        println!(
+            "{:<22} {:>2} {:>2} {:>9.2} {:>8.2} {:>4} {:>9.2} {:>12} | {:>9.1} {:>4} {:>8}",
+            b.id,
+            r.loop_depth,
+            r.summarized_depth,
+            r.summarization_time.as_secs_f64(),
+            r.lift_time.as_secs_f64() * 1000.0,
+            r.aux_count(),
+            r.join_time.as_secs_f64(),
+            outcome,
+            b.paper.summarization_s,
+            b.paper.aux,
+            b.paper
+                .join_s
+                .map(|s| format!("{s:.1}"))
+                .unwrap_or_else(|| "—".to_owned()),
+        );
+        rows.push(Row {
+            id: b.id.to_owned(),
+            n: r.loop_depth,
+            k: r.summarized_depth,
+            summarization_s: r.summarization_time.as_secs_f64(),
+            lift_ms: r.lift_time.as_secs_f64() * 1000.0,
+            aux: r.aux_count(),
+            aux_names,
+            join_s: r.join_time.as_secs_f64(),
+            outcome,
+            expected: format!("{:?}", b.expected),
+            as_expected: ok,
+            paper_summarization_s: b.paper.summarization_s,
+            paper_aux: b.paper.aux,
+            paper_join_s: b.paper.join_s,
+        });
+    }
+    println!("{}", "-".repeat(110));
+    println!(
+        "{} benchmarks, {} matching the paper's qualitative outcome",
+        rows.len(),
+        rows.len() - mismatches
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).expect("write json");
+        println!("wrote {path}");
+    }
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

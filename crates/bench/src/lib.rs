@@ -1,0 +1,89 @@
+//! # parsynt-bench
+//!
+//! The harness binaries that regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md's experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — summarization time, #aux, join-synthesis time |
+//! | `figure9` | Figure 9 — speedup vs threads, work-stealing backend |
+//! | `openmp_vs_tbb` | §9 inline table — backends at 16 threads |
+//! | `ablation_weak_inverse` | §9 — sketch restriction on/off |
+//! | `ablation_incremental` | §9 — incremental vs monolithic synthesis |
+//!
+//! This library holds the shared measurement and formatting helpers.
+
+use parsynt_runtime::RunConfig;
+use parsynt_suite::native::Prepared;
+use std::time::{Duration, Instant};
+
+/// Median wall-clock time of `reps` executions of `f` (first run warm-up
+/// excluded).
+pub fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut times: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Measure the speedup of a prepared workload at `threads` relative to
+/// its sequential run; returns `(sequential_time, parallel_time)`.
+pub fn measure_speedup(
+    prepared: &dyn Prepared,
+    cfg: RunConfig,
+    reps: usize,
+) -> (Duration, Duration) {
+    let seq_digest = prepared.sequential();
+    let par_digest = prepared.parallel(cfg);
+    assert_eq!(
+        seq_digest, par_digest,
+        "parallel execution diverged from sequential"
+    );
+    let seq = median_time(reps, || {
+        std::hint::black_box(prepared.sequential());
+    });
+    let par = median_time(reps, || {
+        std::hint::black_box(prepared.parallel(cfg));
+    });
+    (seq, par)
+}
+
+/// Format a duration as fractional seconds (2 decimals).
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Render one row of a fixed-width ASCII table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn row_aligns_cells() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,132 @@
+//! The complexity budgets of §6 (Prop. 6.1, Def. 6.2, Cor. 6.3), as
+//! checkable facts about a synthesized parallelization.
+//!
+//! A loop nest of depth `n` runs in `O(mⁿ)`; for the join-based
+//! implementation to stay in `O(mⁿ)` over constantly many processors the
+//! join must be `O(mⁿ⁻¹)` — operationally, a join over a summarized loop
+//! of depth `k` may contain loops of depth at most `k − 1`, and lifted
+//! auxiliaries may hold at most `O(mⁿ⁻¹)`-sized state (arrays of
+//! dimension `< n`).
+
+use crate::schema::{Outcome, Parallelization};
+use parsynt_lang::ast::Stmt;
+use parsynt_lang::error::{LangError, Result};
+
+/// The budget facts derived from a parallelization (Def. 6.2 / Cor. 6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Loop-nest depth `n` of the original program.
+    pub n: usize,
+    /// Summarized depth `k`.
+    pub k: usize,
+    /// Maximum loop depth permitted inside the join: `k − 1`.
+    pub max_join_loop_depth: usize,
+    /// Maximum dimension permitted for auxiliary state: `n − 1`.
+    pub max_aux_dimension: usize,
+}
+
+/// Compute the budget for a parallelization.
+pub fn budget_of(plan: &Parallelization) -> Budget {
+    let n = plan.report.loop_depth;
+    let k = plan.report.summarized_depth;
+    Budget {
+        n,
+        k,
+        max_join_loop_depth: k.saturating_sub(1),
+        max_aux_dimension: n.saturating_sub(1),
+    }
+}
+
+/// Validate that a divide-and-conquer parallelization respects its
+/// complexity budget: the join's loop depth is at most `k − 1`
+/// (Def. 6.2) and every state variable — including lifted auxiliaries —
+/// has dimension at most `n − 1` (Cor. 6.3).
+///
+/// The synthesizer enforces these budgets by construction; this function
+/// makes the invariant independently checkable (and is exercised over
+/// the whole benchmark suite in the tests).
+///
+/// # Errors
+///
+/// Returns a descriptive error on the first violation; `Ok` for
+/// map-only and failed outcomes (nothing to check).
+pub fn validate_budget(plan: &Parallelization) -> Result<()> {
+    let Outcome::DivideAndConquer { join, .. } = &plan.outcome else {
+        return Ok(());
+    };
+    let budget = budget_of(plan);
+
+    let join_depth = join.stmts.iter().map(Stmt::loop_depth).max().unwrap_or(0);
+    if join_depth > budget.max_join_loop_depth {
+        return Err(LangError::eval(format!(
+            "join loop depth {join_depth} exceeds the budget k-1 = {} (Def. 6.2)",
+            budget.max_join_loop_depth
+        )));
+    }
+
+    for decl in &plan.program.state {
+        let dim = decl.ty.dim();
+        if dim > budget.max_aux_dimension {
+            return Err(LangError::eval(format!(
+                "state `{}` has dimension {dim}, beyond the O(m^{{n-1}}) space \
+                 budget (Cor. 6.3)",
+                plan.program.name(decl.name)
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::parallelize;
+    use parsynt_lang::parse;
+
+    #[test]
+    fn scalar_join_respects_budget() {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        )
+        .unwrap();
+        let plan = parallelize(&p).unwrap();
+        let b = budget_of(&plan);
+        assert_eq!(b.n, 2);
+        assert_eq!(b.k, 1);
+        assert_eq!(b.max_join_loop_depth, 0);
+        validate_budget(&plan).expect("scalar join is loop-free");
+    }
+
+    #[test]
+    fn looped_join_uses_exactly_the_budget() {
+        // Column sums: k = 2, so the join may loop once — and does.
+        let p = parse(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; } }",
+        )
+        .unwrap();
+        let plan = parallelize(&p).unwrap();
+        assert!(plan.report.looped_join);
+        let b = budget_of(&plan);
+        assert_eq!(b.max_join_loop_depth, 1);
+        validate_budget(&plan).expect("single-loop join fits k-1 = 1");
+    }
+
+    #[test]
+    fn map_only_plans_trivially_validate() {
+        // Budget validation only constrains divide-and-conquer joins.
+        let p = parse(
+            "input a : seq<int>; state best : int = 0; state cur : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               if (a[i] == a[i]) { cur = cur + 1; } else { cur = 0; }\n\
+               best = max(best, cur);\n\
+             }",
+        )
+        .unwrap();
+        // Whatever the outcome, validation must not fail spuriously.
+        let plan = parallelize(&p).unwrap();
+        validate_budget(&plan).unwrap();
+    }
+}

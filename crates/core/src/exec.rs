@@ -1,0 +1,233 @@
+//! Reference parallel execution of a synthesized parallelization.
+//!
+//! These executors run the *synthesized artifacts themselves* (the
+//! transformed program and the synthesized join) through the interpreter
+//! on real OS threads — the semantic cross-check that the produced
+//! divide-and-conquer plan is a faithful parallelization. Performance
+//! measurements use the native `parsynt-runtime` crate instead.
+
+use crate::schema::{Outcome, Parallelization};
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_lang::interp::StateVec;
+use parsynt_lang::Value;
+use parsynt_synth::join::apply_join;
+
+/// Split `n` items into at most `parts` contiguous non-empty chunks.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Execute a divide-and-conquer parallelization on `inputs` with
+/// `threads` worker threads: chunks of the outer dimension run in
+/// parallel, results are combined left-to-right with the synthesized
+/// join.
+///
+/// # Errors
+///
+/// Fails if the parallelization is not divide-and-conquer, or on any
+/// interpreter error.
+pub fn run_divide_and_conquer(
+    parallelization: &Parallelization,
+    inputs: &[Value],
+    threads: usize,
+) -> Result<StateVec> {
+    let Outcome::DivideAndConquer { join, vocab } = &parallelization.outcome else {
+        return Err(LangError::eval("not a divide-and-conquer parallelization"));
+    };
+    let program = &parallelization.program;
+    let f = RightwardFn::new(program)?;
+    let n = inputs[f.main_input()]
+        .len()
+        .ok_or_else(|| LangError::eval("main input is not a sequence"))?;
+    if n == 0 {
+        return f.apply(inputs);
+    }
+    let ranges = chunk_ranges(n, threads);
+
+    let partials: Vec<Result<StateVec>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || f.apply_slice(inputs, lo, hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut acc: Option<StateVec> = None;
+    for partial in partials {
+        let partial = partial?;
+        acc = Some(match acc {
+            None => partial,
+            Some(left) => apply_join(program, vocab, join, &left, &partial)?,
+        });
+    }
+    acc.ok_or_else(|| LangError::eval("empty input"))
+}
+
+/// Execute a map-only parallelization: all instances of the inner loop
+/// nest run in parallel from the initial state (the memoryless map of
+/// Prop. 4.3); the outer loop folds their results sequentially.
+///
+/// # Errors
+///
+/// Fails on interpreter errors; the program must be memoryless (its
+/// outer phase may only consume the inner results).
+pub fn run_map_only(
+    parallelization: &Parallelization,
+    inputs: &[Value],
+    threads: usize,
+) -> Result<StateVec> {
+    let program = &parallelization.program;
+    // The map phase runs every inner nest from the zero state; that is
+    // only sound for (transformed) memoryless programs.
+    let analysis = parsynt_lang::analysis::analyze(program);
+    if !analysis.is_syntactically_memoryless() {
+        return Err(LangError::eval(
+            "run_map_only requires a memoryless program (run the schema first)",
+        ));
+    }
+    let f = RightwardFn::new(program)?;
+    let n = inputs[f.main_input()]
+        .len()
+        .ok_or_else(|| LangError::eval("main input is not a sequence"))?;
+    if n == 0 {
+        return f.apply(inputs);
+    }
+    let ranges = chunk_ranges(n, threads);
+
+    // Parallel map: compute 𝒢(0̸)(δ_i) for every row.
+    let inner_results: Vec<Result<Vec<parsynt_lang::functional::InnerResult>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        (lo..hi)
+                            .map(|i| f.inner_phase_from_zero(inputs, i))
+                            .collect::<Result<Vec<_>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+    // Sequential fold of the outer phase over the precomputed results.
+    let env = parsynt_lang::interp::init_env(program, inputs)?;
+    let mut state = parsynt_lang::interp::read_state(program, &env)?;
+    let mut i = 0usize;
+    for chunk in inner_results {
+        for inner in chunk? {
+            state = f.outer_phase_from(inputs, i, &state, &inner)?;
+            i += 1;
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::parallelize;
+    use parsynt_lang::parse;
+
+    #[test]
+    fn chunking_is_contiguous_and_complete() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for parts in [1usize, 2, 4, 7] {
+                let ranges = chunk_ranges(n, parts);
+                let mut expect = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect);
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, n.min(expect.max(n)));
+                if n > 0 {
+                    assert_eq!(ranges.last().unwrap().1, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dnc_execution_matches_sequential() {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        )
+        .unwrap();
+        let plan = parallelize(&p).unwrap();
+        let input = Value::seq2_of_ints(&[
+            vec![1, 2, 3],
+            vec![-4, 5, 6],
+            vec![7, -8, 9],
+            vec![1, 1, 1],
+            vec![0, 2, -3],
+        ]);
+        let seq =
+            parsynt_lang::interp::run_program(&plan.program, std::slice::from_ref(&input)).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = run_divide_and_conquer(&plan, std::slice::from_ref(&input), threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_only_execution_matches_sequential() {
+        let p = parse(
+            "input a : seq<seq<int>>;\n\
+             state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               for j in 0 .. len(a[i]) {\n\
+                 lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+                 if (offset + lo < 0) { bal = false; }\n\
+               }\n\
+               offset = offset + lo;\n\
+               if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+             }\n\
+             return cnt;",
+        )
+        .unwrap();
+        let profile = parsynt_synth::examples::InputProfile::default().with_choices(&[-1, 1]);
+        let plan = crate::schema::parallelize_with(
+            &p,
+            &profile,
+            &parsynt_synth::report::SynthConfig::default(),
+        )
+        .unwrap();
+        assert!(plan.is_map_only());
+        // "(()" ")" "()" rows
+        let input = Value::seq2_of_ints(&[vec![1, 1, -1], vec![-1], vec![1, -1]]);
+        let seq =
+            parsynt_lang::interp::run_program(&plan.program, std::slice::from_ref(&input)).unwrap();
+        let par = run_map_only(&plan, &[input], 3).unwrap();
+        assert_eq!(
+            par.scalar_named(&plan.program, "cnt"),
+            seq.scalar_named(&plan.program, "cnt")
+        );
+    }
+}

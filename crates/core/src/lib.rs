@@ -1,0 +1,42 @@
+//! # parsynt-core
+//!
+//! The ParSynt parallelization schema (Figure 7 of *Modular
+//! Divide-and-Conquer Parallelization of Nested Loops*), tying together
+//! the language front end, the memoryless phase (summarization), the
+//! lifting algorithms and join synthesis:
+//!
+//! ```text
+//! sequential loop nest L
+//!   └─ memoryless? ──no──▶ memoryless lift (⊚ synthesis + aux)   (IV, II)
+//!   └─ summarized loop h_L
+//!        └─ join ⊙ synthesis ──fail──▶ homomorphism lift (III) ──▶ retry
+//!             └─ ok: divide-and-conquer parallel code            (I)
+//!             └─ fail & n > k: parallelize the map only
+//!             └─ fail & n = k: not efficiently parallelizable
+//! ```
+//!
+//! The main entry point is [`parallelize`] (or [`parallelize_with`] for
+//! custom input profiles and synthesis budgets).
+//!
+//! ```
+//! use parsynt_core::parallelize;
+//! let p = parsynt_lang::parse(
+//!     "input a : seq<seq<int>>; state s : int = 0;\n\
+//!      for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+//! ).unwrap();
+//! let result = parallelize(&p).unwrap();
+//! assert!(result.is_divide_and_conquer());
+//! ```
+
+pub mod budget;
+pub mod exec;
+pub mod proof;
+pub mod schema;
+
+pub use budget::{budget_of, validate_budget, Budget};
+pub use exec::{run_divide_and_conquer, run_map_only};
+pub use proof::{
+    check_homomorphism_law, check_homomorphism_law_exhaustive, check_join_associativity,
+    proof_obligations,
+};
+pub use schema::{parallelize, parallelize_with, Outcome, Parallelization, Report};

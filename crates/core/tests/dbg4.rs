@@ -1,0 +1,4 @@
+//! Scratch diagnostics (not part of the suite's assertions).
+#[test]
+#[ignore]
+fn debug_placeholder() {}

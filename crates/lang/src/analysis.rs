@@ -1,0 +1,492 @@
+//! Structural analysis of loop nests.
+//!
+//! Computes the facts the parallelization schema (Figure 7 of the paper)
+//! dispatches on: the loop-nest depth `n`, the summarized depth `k`, the
+//! syntactic memorylessness of the nest (does the inner loop nest touch
+//! outer state?), and the dependency partition `D₁ ⊂ D₂ ⊂ …` of state
+//! variables that drives incremental join synthesis (§9 "Implementation").
+
+use crate::ast::{Program, Stmt, Sym};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Loop-nest depth `n` of the program.
+    pub loop_depth: usize,
+    /// Depth `k` of the summarized loop: `1` when all state is scalar,
+    /// `1 + max dimension of a state variable` otherwise (a join for
+    /// array-shaped state must itself loop, Definition 6.2).
+    pub summarized_depth: usize,
+    /// Outer state variables *read* inside the inner loop nest.
+    /// Non-empty ⇒ the nest is not syntactically memoryless.
+    pub state_read_in_inner: Vec<Sym>,
+    /// Outer state variables *written* inside the inner loop nest.
+    pub state_written_in_inner: Vec<Sym>,
+    /// Dependency levels of state variables: `levels[0]` depends on
+    /// nothing but itself, `levels[i]` only on earlier levels and itself.
+    /// This is the partition `D₁ ⊂ D₂ ⊂ …` used for incremental synthesis.
+    pub levels: Vec<Vec<Sym>>,
+}
+
+impl Analysis {
+    /// Whether the inner loop nest is syntactically memoryless: no outer
+    /// state variable is read (or conditionally depended on) inside it.
+    ///
+    /// A `true` here means the map part of the parallelization exists
+    /// without any memoryless lift (Definition 4.2).
+    pub fn is_syntactically_memoryless(&self) -> bool {
+        self.state_read_in_inner.is_empty() && self.state_written_in_inner.is_empty()
+    }
+
+    /// State variables in dependency order (flattened levels).
+    pub fn state_in_dependency_order(&self) -> Vec<Sym> {
+        self.levels.iter().flatten().copied().collect()
+    }
+}
+
+/// Analyze a program. See [`Analysis`] for the collected facts.
+pub fn analyze(program: &Program) -> Analysis {
+    let loop_depth = program.loop_depth();
+    let state_syms: Vec<Sym> = program.state_syms();
+    let state_set: BTreeSet<Sym> = state_syms.iter().copied().collect();
+
+    let summarized_depth = 1 + program.state.iter().map(|d| d.ty.dim()).max().unwrap_or(0);
+
+    // Find inner loops (For statements nested inside the outermost For)
+    // and collect outer-state reads/writes within them.
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    if let Some((_, Stmt::For { body, .. }, _)) = program.outer_loop() {
+        let split = program
+            .summarize_split
+            .unwrap_or(body.len())
+            .min(body.len());
+        for stmt in &body[..split] {
+            if let Stmt::For { .. } = stmt {
+                collect_state_accesses(stmt, &state_set, &mut reads, &mut writes);
+            } else {
+                // A non-loop statement in the outer body may *contain*
+                // loops (inside an `if`); treat those as inner loops too.
+                stmt.walk(&mut |s| {
+                    if matches!(s, Stmt::For { .. }) && !std::ptr::eq(s, stmt) {
+                        collect_state_accesses(s, &state_set, &mut reads, &mut writes);
+                    }
+                });
+            }
+        }
+    }
+
+    let levels = dependency_levels(program, &state_syms);
+
+    Analysis {
+        loop_depth,
+        summarized_depth,
+        state_read_in_inner: reads.into_iter().collect(),
+        state_written_in_inner: writes.into_iter().collect(),
+        levels,
+    }
+}
+
+/// Collect reads/writes of `state_set` variables within `stmt` (which is
+/// an inner loop).
+fn collect_state_accesses(
+    stmt: &Stmt,
+    state_set: &BTreeSet<Sym>,
+    reads: &mut BTreeSet<Sym>,
+    writes: &mut BTreeSet<Sym>,
+) {
+    stmt.walk(&mut |s| match s {
+        Stmt::Assign { target, value } => {
+            if state_set.contains(&target.base) {
+                writes.insert(target.base);
+            }
+            for idx in &target.indices {
+                for v in idx.vars() {
+                    if state_set.contains(&v) {
+                        reads.insert(v);
+                    }
+                }
+            }
+            for v in value.vars() {
+                if state_set.contains(&v) {
+                    reads.insert(v);
+                }
+            }
+        }
+        Stmt::Let { init, .. } => {
+            for v in init.vars() {
+                if state_set.contains(&v) {
+                    reads.insert(v);
+                }
+            }
+        }
+        Stmt::If { cond, .. } => {
+            for v in cond.vars() {
+                if state_set.contains(&v) {
+                    reads.insert(v);
+                }
+            }
+        }
+        Stmt::For { bound, .. } => {
+            for v in bound.vars() {
+                if state_set.contains(&v) {
+                    reads.insert(v);
+                }
+            }
+        }
+    });
+}
+
+/// For each variable symbol `s` (state, input or local), the set of
+/// state variables whose update right-hand sides mention `s` — the
+/// dataflow adjacency used to rank hole candidates during synthesis
+/// (a hole that replaced a read of `s` most likely joins through the
+/// state variables computed *from* `s`).
+pub fn assigned_from(program: &Program) -> BTreeMap<Sym, BTreeSet<Sym>> {
+    let mut map: BTreeMap<Sym, BTreeSet<Sym>> = BTreeMap::new();
+    for stmt in &program.body {
+        stmt.walk(&mut |st| {
+            if let Stmt::Assign { target, value } = st {
+                if program.is_state(target.base) {
+                    for s in value.vars() {
+                        map.entry(s).or_default().insert(target.base);
+                    }
+                }
+            }
+        });
+    }
+    map
+}
+
+/// Compute, for each state variable, the set of *other* state variables
+/// its updates depend on (via assignment right-hand sides, index
+/// expressions and enclosing guards).
+pub fn state_dependencies(program: &Program) -> BTreeMap<Sym, BTreeSet<Sym>> {
+    let state_set: BTreeSet<Sym> = program.state_syms().into_iter().collect();
+    let mut deps: BTreeMap<Sym, BTreeSet<Sym>> =
+        state_set.iter().map(|&s| (s, BTreeSet::new())).collect();
+    let mut guards: Vec<Vec<Sym>> = Vec::new();
+    for stmt in &program.body {
+        collect_deps(stmt, &state_set, &mut deps, &mut guards);
+    }
+    // Indirect dependencies through inner (let) variables: a let variable
+    // that reads state taints every state variable that later reads it.
+    // We approximate with a fixpoint over a let→state-deps map.
+    let mut let_deps: BTreeMap<Sym, BTreeSet<Sym>> = BTreeMap::new();
+    loop {
+        let before: usize = deps.values().map(BTreeSet::len).sum::<usize>()
+            + let_deps.values().map(BTreeSet::len).sum::<usize>();
+        let mut guards: Vec<Vec<Sym>> = Vec::new();
+        for stmt in &program.body {
+            propagate_let_deps(stmt, &state_set, &mut deps, &mut let_deps, &mut guards);
+        }
+        let after: usize = deps.values().map(BTreeSet::len).sum::<usize>()
+            + let_deps.values().map(BTreeSet::len).sum::<usize>();
+        if after == before {
+            break;
+        }
+    }
+    for (&s, d) in &mut deps {
+        d.remove(&s);
+    }
+    deps
+}
+
+fn collect_deps(
+    stmt: &Stmt,
+    state_set: &BTreeSet<Sym>,
+    deps: &mut BTreeMap<Sym, BTreeSet<Sym>>,
+    guards: &mut Vec<Vec<Sym>>,
+) {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            if state_set.contains(&target.base) {
+                let entry = deps.entry(target.base).or_default();
+                for v in value.vars() {
+                    if state_set.contains(&v) {
+                        entry.insert(v);
+                    }
+                }
+                for idx in &target.indices {
+                    for v in idx.vars() {
+                        if state_set.contains(&v) {
+                            entry.insert(v);
+                        }
+                    }
+                }
+                for guard in guards.iter() {
+                    for &v in guard {
+                        entry.insert(v);
+                    }
+                }
+            }
+        }
+        Stmt::Let { .. } => {}
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let guard_vars: Vec<Sym> = cond
+                .vars()
+                .into_iter()
+                .filter(|v| state_set.contains(v))
+                .collect();
+            guards.push(guard_vars);
+            for s in then_branch.iter().chain(else_branch) {
+                collect_deps(s, state_set, deps, guards);
+            }
+            guards.pop();
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                collect_deps(s, state_set, deps, guards);
+            }
+        }
+    }
+}
+
+fn propagate_let_deps(
+    stmt: &Stmt,
+    state_set: &BTreeSet<Sym>,
+    deps: &mut BTreeMap<Sym, BTreeSet<Sym>>,
+    let_deps: &mut BTreeMap<Sym, BTreeSet<Sym>>,
+    guards: &mut Vec<Vec<Sym>>,
+) {
+    let taint_of = |e: &crate::ast::Expr,
+                    state_set: &BTreeSet<Sym>,
+                    let_deps: &BTreeMap<Sym, BTreeSet<Sym>>|
+     -> BTreeSet<Sym> {
+        let mut taint = BTreeSet::new();
+        for v in e.vars() {
+            if state_set.contains(&v) {
+                taint.insert(v);
+            } else if let Some(t) = let_deps.get(&v) {
+                taint.extend(t.iter().copied());
+            }
+        }
+        taint
+    };
+    match stmt {
+        Stmt::Let { name, init, .. } => {
+            let taint = taint_of(init, state_set, let_deps);
+            let_deps.entry(*name).or_default().extend(taint);
+        }
+        Stmt::Assign { target, value } => {
+            let mut taint = taint_of(value, state_set, let_deps);
+            for guard in guards.iter() {
+                taint.extend(guard.iter().copied());
+            }
+            if state_set.contains(&target.base) {
+                deps.entry(target.base).or_default().extend(taint);
+            } else {
+                let_deps.entry(target.base).or_default().extend(taint);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut guard: Vec<Sym> = Vec::new();
+            for v in cond.vars() {
+                if state_set.contains(&v) {
+                    guard.push(v);
+                } else if let Some(t) = let_deps.get(&v) {
+                    guard.extend(t.iter().copied());
+                }
+            }
+            guards.push(guard);
+            for s in then_branch.iter().chain(else_branch) {
+                propagate_let_deps(s, state_set, deps, let_deps, guards);
+            }
+            guards.pop();
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                propagate_let_deps(s, state_set, deps, let_deps, guards);
+            }
+        }
+    }
+}
+
+/// Partition `state_syms` into dependency levels: level 0 variables
+/// depend only on themselves, level `i` variables only on levels `< i`
+/// and themselves. Mutually dependent variables share a level.
+fn dependency_levels(program: &Program, state_syms: &[Sym]) -> Vec<Vec<Sym>> {
+    let deps = state_dependencies(program);
+    let mut placed: BTreeSet<Sym> = BTreeSet::new();
+    let mut levels: Vec<Vec<Sym>> = Vec::new();
+    let mut remaining: Vec<Sym> = state_syms.to_vec();
+    while !remaining.is_empty() {
+        let ready: Vec<Sym> = remaining
+            .iter()
+            .copied()
+            .filter(|s| {
+                deps.get(s)
+                    .is_none_or(|d| d.iter().all(|w| placed.contains(w) || w == s))
+            })
+            .collect();
+        if ready.is_empty() {
+            // Dependency cycle: the remaining variables form one level.
+            levels.push(remaining.clone());
+            break;
+        }
+        placed.extend(ready.iter().copied());
+        remaining.retain(|s| !placed.contains(s));
+        levels.push(ready);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn mbbs_is_syntactically_memoryless() {
+        let p = parse(
+            "input a : seq<seq<seq<int>>>; state mbbs : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let plane : int = 0;\n\
+               for j in 0 .. len(a[i]) { for k in 0 .. len(a[i][j]) {\n\
+                 plane = plane + a[i][j][k]; } }\n\
+               mbbs = max(mbbs + plane, 0);\n\
+             }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.loop_depth, 3);
+        assert_eq!(a.summarized_depth, 1);
+        assert!(a.is_syntactically_memoryless());
+    }
+
+    #[test]
+    fn bp_is_not_memoryless() {
+        // Figure 3: the inner loop reads `offset` and writes `bal`.
+        let p = parse(
+            "input a : seq<seq<int>>;\n\
+             state offset : int = 0; state cnt : int = 0; state bal : bool = true;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               for j in 0 .. len(a[i]) {\n\
+                 lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+                 if (offset + lo < 0) { bal = false; }\n\
+               }\n\
+               offset = offset + lo;\n\
+               if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+             }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(!a.is_syntactically_memoryless());
+        let offset = p.sym("offset").unwrap();
+        let bal = p.sym("bal").unwrap();
+        assert!(a.state_read_in_inner.contains(&offset));
+        assert!(a.state_written_in_inner.contains(&bal));
+    }
+
+    #[test]
+    fn summarized_depth_counts_array_state() {
+        let p = parse(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             state mtl : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; mtl = max(mtl, rec[j]); } }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.summarized_depth, 2);
+    }
+
+    #[test]
+    fn dependency_levels_order_mtls_state() {
+        let p = parse(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             state mtl : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; mtl = max(mtl, rec[j]); } }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let rec = p.sym("rec").unwrap();
+        let mtl = p.sym("mtl").unwrap();
+        assert_eq!(a.levels, vec![vec![rec], vec![mtl]]);
+    }
+
+    #[test]
+    fn guard_dependencies_are_tracked() {
+        // `cnt` is guarded by `bal`, so it depends on `bal`.
+        let p = parse(
+            "input a : seq<int>; state bal : bool = true; state cnt : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               if (a[i] < 0) { bal = false; }\n\
+               if (bal) { cnt = cnt + 1; }\n\
+             }",
+        )
+        .unwrap();
+        let deps = state_dependencies(&p);
+        let bal = p.sym("bal").unwrap();
+        let cnt = p.sym("cnt").unwrap();
+        assert!(deps[&cnt].contains(&bal));
+        assert!(deps[&bal].is_empty());
+    }
+
+    #[test]
+    fn let_variable_taint_flows_to_state() {
+        // `t` reads state `s`; `u` is assigned from `t`, so `u` depends on `s`.
+        let p = parse(
+            "input a : seq<int>; state s : int = 0; state u : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let t : int = s + a[i];\n\
+               u = u + t;\n\
+               s = s + 1;\n\
+             }",
+        )
+        .unwrap();
+        let deps = state_dependencies(&p);
+        let s = p.sym("s").unwrap();
+        let u = p.sym("u").unwrap();
+        assert!(deps[&u].contains(&s));
+    }
+
+    #[test]
+    fn assigned_from_maps_sources_to_state_targets() {
+        let p = parse(
+            "input a : seq<int>; state last : int = 0; state md : int = 0;\n\
+             state seen : bool = false;\n\
+             for i in 0 .. len(a) {\n\
+               if (seen) { md = max(md, a[i] - last); }\n\
+               last = a[i];\n\
+               seen = true;\n\
+             }",
+        )
+        .unwrap();
+        let flow = assigned_from(&p);
+        let a = p.sym("a").unwrap();
+        let last = p.sym("last").unwrap();
+        let md = p.sym("md").unwrap();
+        // Reads of the input `a` flow into both `last` and `md`.
+        assert!(flow[&a].contains(&last));
+        assert!(flow[&a].contains(&md));
+        // `last` flows into `md` (md's update reads it).
+        assert!(flow[&last].contains(&md));
+        // `seen` is assigned only constants: no sources map to it.
+        let seen = p.sym("seen").unwrap();
+        assert!(!flow.values().any(|t| t.contains(&seen)));
+    }
+
+    #[test]
+    fn cyclic_dependencies_share_a_level() {
+        let p = parse(
+            "input a : seq<int>; state x : int = 0; state y : int = 0;\n\
+             for i in 0 .. len(a) { x = y + a[i]; y = x + 1; }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.levels.len(), 1);
+        assert_eq!(a.levels[0].len(), 2);
+    }
+}

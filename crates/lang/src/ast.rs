@@ -1,0 +1,674 @@
+//! Abstract syntax of the mini language, with interned symbols.
+//!
+//! A [`Program`] is a list of `input` declarations (the read-only
+//! collections, `IVar` in the paper), a list of `state` declarations
+//! (`SVar`), a statement body whose outermost statement is the loop nest,
+//! and a `return` list naming the state variables that constitute the
+//! program's observable output (the rest are auxiliary accumulators).
+
+use crate::ty::Ty;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier. Cheap to copy and compare; resolved to its
+/// textual name through the program's [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index of the symbol (usable to index side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping identifier names to dense [`Sym`] indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern a fresh name derived from `base` that does not collide with
+    /// any existing name (`base`, `base_1`, `base_2`, ...).
+    pub fn fresh(&mut self, base: &str) -> Sym {
+        if self.map.contains_key(base) {
+            for i in 1.. {
+                let candidate = format!("{base}_{i}");
+                if !self.map.contains_key(&candidate) {
+                    return self.intern(&candidate);
+                }
+            }
+            unreachable!()
+        } else {
+            self.intern(base)
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Integer negation `-e`.
+    Neg,
+    /// Boolean negation `!e`.
+    Not,
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is a runtime error)
+    Div,
+    /// `%`
+    Rem,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// All operators, in a stable order (used by grammar construction in
+    /// the synthesizer).
+    pub const ALL: [BinOp; 15] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ];
+
+    /// Whether the operator takes integer operands.
+    pub fn int_args(self) -> bool {
+        !matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// The result type given the operand type.
+    pub fn result_ty(self) -> Ty {
+        match self {
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::Mul
+            | BinOp::Div
+            | BinOp::Rem
+            | BinOp::Min
+            | BinOp::Max => Ty::Int,
+            _ => Ty::Bool,
+        }
+    }
+
+    /// Whether the operator is associative (used by the rewrite engine).
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or
+        )
+    }
+
+    /// Whether the operator is commutative (used by the rewrite engine).
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Eq
+                | BinOp::Ne
+        )
+    }
+
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(Sym),
+    /// Indexing `base[idx]`; `base` may itself be an index expression.
+    Index(Box<Expr>, Box<Expr>),
+    /// Sequence length `len(e)`.
+    Len(Box<Expr>),
+    /// `zeros(n)`: an integer sequence of length `n` filled with zeros
+    /// (used to initialize array-shaped state such as `rec[]` in the
+    /// maximum top-left subarray example, §2.2).
+    Zeros(Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional expression `cond ? then : else`.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub` are static constructors, not operators
+impl Expr {
+    /// Variable reference.
+    pub fn var(sym: Sym) -> Expr {
+        Expr::Var(sym)
+    }
+
+    /// Integer literal.
+    pub fn int(n: i64) -> Expr {
+        Expr::Int(n)
+    }
+
+    /// Binary operation helper.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// `max(a, b)`
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Max, a, b)
+    }
+
+    /// `min(a, b)`
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Min, a, b)
+    }
+
+    /// `a && b`
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::And, a, b)
+    }
+
+    /// `a || b`
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Or, a, b)
+    }
+
+    /// `a == b`
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// `cond ? t : e`
+    pub fn ite(cond: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Ite(Box::new(cond), Box::new(t), Box::new(e))
+    }
+
+    /// `base[idx]`
+    pub fn index(base: Expr, idx: Expr) -> Expr {
+        Expr::Index(Box::new(base), Box::new(idx))
+    }
+
+    /// Number of nodes in the expression tree (the `expsize` of Def. 8.4).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => 1,
+            Expr::Len(e) | Expr::Zeros(e) | Expr::Unary(_, e) => 1 + e.size(),
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
+        }
+    }
+
+    /// Depth of the expression tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => 1,
+            Expr::Len(e) | Expr::Zeros(e) | Expr::Unary(_, e) => 1 + e.depth(),
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Ite(c, t, e) => 1 + c.depth().max(t.depth()).max(e.depth()),
+        }
+    }
+
+    /// Visit every subexpression, outermost first.
+    pub fn walk(&self, visit: &mut impl FnMut(&Expr)) {
+        visit(self);
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => {}
+            Expr::Len(e) | Expr::Zeros(e) | Expr::Unary(_, e) => e.walk(visit),
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            Expr::Ite(c, t, e) => {
+                c.walk(visit);
+                t.walk(visit);
+                e.walk(visit);
+            }
+        }
+    }
+
+    /// Collect the set of variables referenced by the expression.
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Var(s) = e {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+        });
+        out
+    }
+
+    /// Whether the expression mentions `sym`.
+    pub fn mentions(&self, sym: Sym) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Var(s) if *s == sym) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Replace every occurrence of variable `from` with expression `to`.
+    pub fn substitute(&self, from: Sym, to: &Expr) -> Expr {
+        self.map(&mut |e| match e {
+            Expr::Var(s) if *s == from => Some(to.clone()),
+            _ => None,
+        })
+    }
+
+    /// Rebuild the expression bottom-up, letting `f` replace any node
+    /// (outermost nodes are offered first; returning `None` recurses).
+    pub fn map(&self, f: &mut impl FnMut(&Expr) -> Option<Expr>) -> Expr {
+        if let Some(replaced) = f(self) {
+            return replaced;
+        }
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => self.clone(),
+            Expr::Len(e) => Expr::Len(Box::new(e.map(f))),
+            Expr::Zeros(e) => Expr::Zeros(Box::new(e.map(f))),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.map(f))),
+            Expr::Index(a, b) => Expr::index(a.map(f), b.map(f)),
+            Expr::Binary(op, a, b) => Expr::bin(*op, a.map(f), b.map(f)),
+            Expr::Ite(c, t, e) => Expr::ite(c.map(f), t.map(f), e.map(f)),
+        }
+    }
+}
+
+/// The target of an assignment: a variable, optionally indexed
+/// (e.g. `rec[j] = ...`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LValue {
+    /// The assigned variable.
+    pub base: Sym,
+    /// Zero or more index expressions (innermost last).
+    pub indices: Vec<Expr>,
+}
+
+impl LValue {
+    /// A plain variable target.
+    pub fn var(base: Sym) -> LValue {
+        LValue {
+            base,
+            indices: Vec::new(),
+        }
+    }
+
+    /// A singly-indexed target `base[idx]`.
+    pub fn indexed(base: Sym, idx: Expr) -> LValue {
+        LValue {
+            base,
+            indices: vec![idx],
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration `let name : ty = init;` — declares an
+    /// inner-loop state variable reset at each iteration of the
+    /// enclosing loop.
+    Let { name: Sym, ty: Ty, init: Expr },
+    /// Assignment `target = value;`.
+    Assign { target: LValue, value: Expr },
+    /// Conditional `if (cond) { .. } else { .. }`.
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    /// Counting loop `for var in 0 .. bound { .. }`.
+    For {
+        var: Sym,
+        bound: Expr,
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Visit every statement in the subtree, outermost first.
+    pub fn walk(&self, visit: &mut impl FnMut(&Stmt)) {
+        visit(self);
+        match self {
+            Stmt::Let { .. } | Stmt::Assign { .. } => {}
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    s.walk(visit);
+                }
+            }
+            Stmt::For { body, .. } => {
+                for s in body {
+                    s.walk(visit);
+                }
+            }
+        }
+    }
+
+    /// Maximum loop-nest depth within this statement (a loop-free
+    /// statement has depth 0).
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Stmt::Let { .. } | Stmt::Assign { .. } => 0,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch
+                .iter()
+                .chain(else_branch)
+                .map(Stmt::loop_depth)
+                .max()
+                .unwrap_or(0),
+            Stmt::For { body, .. } => 1 + body.iter().map(Stmt::loop_depth).max().unwrap_or(0),
+        }
+    }
+}
+
+/// An `input` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputDecl {
+    /// The input variable.
+    pub name: Sym,
+    /// Its (sequence) type.
+    pub ty: Ty,
+}
+
+/// A `state` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDecl {
+    /// The state variable.
+    pub name: Sym,
+    /// Its type.
+    pub ty: Ty,
+    /// Its initial value expression (must be input-independent).
+    pub init: Expr,
+}
+
+/// A complete program: declarations, loop-nest body and return list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Symbol interner owning every identifier in the program.
+    pub interner: Interner,
+    /// Read-only input collections (`IVar`).
+    pub inputs: Vec<InputDecl>,
+    /// Outer state variables (`SVar`), including any auxiliary
+    /// accumulators added by lifting.
+    pub state: Vec<StateDecl>,
+    /// The program body; by convention a (possibly empty) prefix of
+    /// loop-free statements followed by the outermost loop.
+    pub body: Vec<Stmt>,
+    /// Names of state variables that are the observable output.
+    pub returns: Vec<Sym>,
+    /// When set (by the memoryless-normal-form transformation), the
+    /// index into the outer loop's body where the inner phase ends and
+    /// the sequential combine (`⊚`) begins. `None` means the split is
+    /// inferred (after the last top-level inner loop).
+    pub summarize_split: Option<usize>,
+}
+
+impl Program {
+    /// Resolve a name to its symbol, if interned.
+    pub fn sym(&self, name: &str) -> Option<Sym> {
+        self.interner.lookup(name)
+    }
+
+    /// The textual name of a symbol.
+    pub fn name(&self, sym: Sym) -> &str {
+        self.interner.name(sym)
+    }
+
+    /// The declaration of state variable `sym`, if any.
+    pub fn state_decl(&self, sym: Sym) -> Option<&StateDecl> {
+        self.state.iter().find(|d| d.name == sym)
+    }
+
+    /// The declared type of input or state variable `sym`.
+    pub fn decl_ty(&self, sym: Sym) -> Option<&Ty> {
+        self.state_decl(sym)
+            .map(|d| &d.ty)
+            .or_else(|| self.inputs.iter().find(|i| i.name == sym).map(|i| &i.ty))
+    }
+
+    /// The outermost `for` loop of the program body, together with the
+    /// loop-free statements preceding and following it.
+    ///
+    /// Returns `None` when the body has no loop (degenerate programs).
+    pub fn outer_loop(&self) -> Option<(&[Stmt], &Stmt, &[Stmt])> {
+        let pos = self
+            .body
+            .iter()
+            .position(|s| matches!(s, Stmt::For { .. }))?;
+        Some((&self.body[..pos], &self.body[pos], &self.body[pos + 1..]))
+    }
+
+    /// Loop-nest depth `n` of the program (Figure 7's `n`).
+    pub fn loop_depth(&self) -> usize {
+        self.body.iter().map(Stmt::loop_depth).max().unwrap_or(0)
+    }
+
+    /// Symbols of all state variables, in declaration order.
+    pub fn state_syms(&self) -> Vec<Sym> {
+        self.state.iter().map(|d| d.name).collect()
+    }
+
+    /// Whether `sym` names a state variable.
+    pub fn is_state(&self, sym: Sym) -> bool {
+        self.state.iter().any(|d| d.name == sym)
+    }
+
+    /// Whether `sym` names an input.
+    pub fn is_input(&self, sym: Sym) -> bool {
+        self.inputs.iter().any(|i| i.name == sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_round_trips_and_dedupes() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.name(b), "y");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut i = Interner::new();
+        i.intern("aux");
+        let f1 = i.fresh("aux");
+        let f2 = i.fresh("aux");
+        assert_eq!(i.name(f1), "aux_1");
+        assert_eq!(i.name(f2), "aux_2");
+        let g = i.fresh("other");
+        assert_eq!(i.name(g), "other");
+    }
+
+    #[test]
+    fn expr_size_and_depth() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        // max(x + 1, 0)
+        let e = Expr::max(Expr::add(Expr::var(x), Expr::int(1)), Expr::int(0));
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn expr_vars_and_substitute() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let y = i.intern("y");
+        let e = Expr::add(Expr::var(x), Expr::max(Expr::var(y), Expr::var(x)));
+        assert_eq!(e.vars(), vec![x, y]);
+        assert!(e.mentions(x));
+        let e2 = e.substitute(x, &Expr::int(0));
+        assert!(!e2.mentions(x));
+        assert_eq!(e2.vars(), vec![y]);
+    }
+
+    #[test]
+    fn stmt_loop_depth() {
+        let mut i = Interner::new();
+        let v = i.intern("v");
+        let j = i.intern("j");
+        let k = i.intern("k");
+        let inner = Stmt::For {
+            var: k,
+            bound: Expr::int(2),
+            body: vec![Stmt::Assign {
+                target: LValue::var(v),
+                value: Expr::int(1),
+            }],
+        };
+        let outer = Stmt::For {
+            var: j,
+            bound: Expr::int(2),
+            body: vec![inner],
+        };
+        assert_eq!(outer.loop_depth(), 2);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_associative());
+        assert!(BinOp::Max.is_commutative());
+        assert!(!BinOp::Sub.is_associative());
+        assert_eq!(BinOp::Lt.result_ty(), Ty::Bool);
+        assert_eq!(BinOp::Min.result_ty(), Ty::Int);
+        assert!(!BinOp::And.int_args());
+    }
+}

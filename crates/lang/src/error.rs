@@ -1,0 +1,105 @@
+//! Error types shared by the lexer, parser, checker and interpreter.
+
+use std::fmt;
+
+/// Convenient alias used throughout `parsynt-lang`.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// Any error produced while processing a mini-language program.
+///
+/// The variants carry a human-readable message and, where available, the
+/// line number (1-based) in the original source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A lexical error (unexpected character, bad literal).
+    Lex { message: String, line: u32 },
+    /// A syntax error from the recursive-descent parser.
+    Parse { message: String, line: u32 },
+    /// A type error or scoping error from the checker.
+    Type { message: String },
+    /// A runtime error from the interpreter (index out of bounds,
+    /// division by zero, uninitialized variable).
+    Eval { message: String },
+}
+
+impl LangError {
+    /// Create a lexical error at `line`.
+    pub fn lex(message: impl Into<String>, line: u32) -> Self {
+        LangError::Lex {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Create a parse error at `line`.
+    pub fn parse(message: impl Into<String>, line: u32) -> Self {
+        LangError::Parse {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Create a type/scoping error.
+    pub fn ty(message: impl Into<String>) -> Self {
+        LangError::Type {
+            message: message.into(),
+        }
+    }
+
+    /// Create a runtime (evaluation) error.
+    pub fn eval(message: impl Into<String>) -> Self {
+        LangError::Eval {
+            message: message.into(),
+        }
+    }
+
+    /// The message carried by this error, without location information.
+    pub fn message(&self) -> &str {
+        match self {
+            LangError::Lex { message, .. }
+            | LangError::Parse { message, .. }
+            | LangError::Type { message }
+            | LangError::Eval { message } => message,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { message, line } => {
+                write!(f, "lexical error at line {line}: {message}")
+            }
+            LangError::Parse { message, line } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            LangError::Type { message } => write!(f, "type error: {message}"),
+            LangError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = LangError::parse("unexpected token", 7);
+        assert_eq!(e.to_string(), "parse error at line 7: unexpected token");
+    }
+
+    #[test]
+    fn display_type_error() {
+        let e = LangError::ty("mismatched types");
+        assert_eq!(e.to_string(), "type error: mismatched types");
+    }
+
+    #[test]
+    fn message_strips_location() {
+        assert_eq!(LangError::lex("bad char", 3).message(), "bad char");
+        assert_eq!(LangError::eval("oob").message(), "oob");
+    }
+}

@@ -1,0 +1,367 @@
+//! Hand-written lexer for the mini language.
+
+use crate::error::{LangError, Result};
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Line the token starts on.
+    pub line: u32,
+}
+
+/// The kinds of token produced by the [`Lexer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// End of input marker.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short printable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Question => "?",
+            TokenKind::Colon => ":",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::DotDot => "..",
+            TokenKind::Int(_) | TokenKind::Ident(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+/// The lexer: turns source text into a token vector.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Tokenize the whole input, appending a final [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError::Lex`] on any unexpected character or an
+    /// integer literal that overflows `i64`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.lex_int()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+                _ => self.lex_symbol()?,
+            };
+            tokens.push(Token { kind, line });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        text.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+            LangError::lex(format!("integer literal `{text}` overflows i64"), self.line)
+        })
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        TokenKind::Ident(text.to_owned())
+    }
+
+    fn lex_symbol(&mut self) -> Result<TokenKind> {
+        let line = self.line;
+        let c = self.bump().expect("peeked");
+        let two = |lexer: &mut Self, next: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Bang),
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    TokenKind::DotDot
+                } else {
+                    return Err(LangError::lex("expected `..`", line));
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(LangError::lex("expected `&&`", line));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(LangError::lex("expected `||`", line));
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    line,
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let ks = kinds("s = s + a[i];");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("s".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("s".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("a".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("i".into()),
+                TokenKind::RBracket,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let ks = kinds("<= >= == != && || ..");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::DotDot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments_and_tracks_lines() {
+        let toks = Lexer::new("x // hello\ny").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        let err = Lexer::new("a & b").tokenize().unwrap_err();
+        assert!(err.to_string().contains("expected `&&`"));
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = Lexer::new("99999999999999999999").tokenize().unwrap_err();
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = Lexer::new("Ξ").tokenize().unwrap_err();
+        assert!(matches!(err, LangError::Lex { .. }));
+    }
+}

@@ -1,0 +1,78 @@
+//! # parsynt-lang
+//!
+//! The input language of ParSynt: a small imperative language over scalars
+//! (`int`, `bool`) and multidimensional sequences (`seq<...>`), exactly the
+//! program model of §3 of *Modular Divide-and-Conquer Parallelization of
+//! Nested Loops* (PLDI 2019).
+//!
+//! The crate provides
+//!
+//! * an [`ast`] with interned symbols,
+//! * a [`lexer`](lexer::Lexer) and recursive-descent [parser](parse),
+//! * a [type checker](check::check_program) that also partitions variables
+//!   into state variables (`SVar`) and input variables (`IVar`),
+//! * a reference [interpreter](interp) used as the semantic oracle for
+//!   bounded verification during synthesis,
+//! * the [functional form](functional::RightwardFn) of a loop nest
+//!   (Definition 4.1 of the paper): fold over the outermost dimension,
+//!   with the inner loop nest runnable in isolation,
+//! * structural [`analysis`] (loop depth, state dependency order,
+//!   memorylessness of the nest).
+//!
+//! # Example
+//!
+//! ```
+//! use parsynt_lang::{parse, interp::run_program, value::Value};
+//!
+//! let src = r#"
+//!     input a : seq<int>;
+//!     state s : int = 0;
+//!     for i in 0 .. len(a) { s = s + a[i]; }
+//!     return s;
+//! "#;
+//! let program = parse(src).expect("parses");
+//! let input = Value::seq_of_ints(&[1, 2, 3, 4]);
+//! let out = run_program(&program, &[input]).expect("runs");
+//! assert_eq!(out.scalar_named(&program, "s"), Some(10));
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod functional;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod ty;
+pub mod value;
+
+pub use ast::{BinOp, Expr, Interner, LValue, Program, Stmt, Sym, UnOp};
+pub use error::{LangError, Result};
+pub use ty::Ty;
+pub use value::Value;
+
+/// Parse a program from source text and type-check it.
+///
+/// This is the main entry point; it runs the lexer, the parser and the
+/// checker and returns a ready-to-interpret [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] describing the first lexical, syntactic or type
+/// error encountered.
+///
+/// # Example
+///
+/// ```
+/// let p = parsynt_lang::parse("input a : seq<int>; state s : int = 0; \
+///                              for i in 0 .. len(a) { s = s + a[i]; } return s;");
+/// assert!(p.is_ok());
+/// ```
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lexer::Lexer::new(src).tokenize()?;
+    let mut program = parser::Parser::new(tokens).parse_program()?;
+    check::check_program(&mut program)?;
+    Ok(program)
+}

@@ -1,0 +1,528 @@
+//! Recursive-descent parser for the mini language.
+//!
+//! Grammar (informally; `§3.1` of the paper leaves the syntax standard):
+//!
+//! ```text
+//! program := decl* stmt* ("return" ident ("," ident)* ";")?
+//! decl    := "input" ident ":" ty ";"
+//!          | "state" ident ":" ty "=" expr ";"
+//! ty      := "int" | "bool" | "seq" "<" ty ">"
+//! stmt    := "let" ident ":" ty "=" expr ";"
+//!          | "for" ident "in" expr ".." expr "{" stmt* "}"
+//!          | "if" "(" expr ")" block ("else" block)?
+//!          | lvalue "=" expr ";"
+//! ```
+//!
+//! Expressions use C-like precedence with `?:`, `||`, `&&`, comparisons,
+//! `+ -`, `* / %`, unary `- !`, postfix indexing, and the intrinsic calls
+//! `min(a,b)`, `max(a,b)` and `len(e)`.
+
+use crate::ast::{BinOp, Expr, InputDecl, Interner, LValue, Program, StateDecl, Stmt, Sym, UnOp};
+use crate::error::{LangError, Result};
+use crate::lexer::{Token, TokenKind};
+use crate::ty::Ty;
+
+/// The parser, consuming a token stream produced by
+/// [`Lexer::tokenize`](crate::lexer::Lexer::tokenize).
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    interner: Interner,
+}
+
+impl Parser {
+    /// Create a parser over a token stream (must end with `Eof`).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            interner: Interner::new(),
+        }
+    }
+
+    /// Parse a complete [`Program`]. Does **not** type-check; see
+    /// [`check_program`](crate::check::check_program).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_program(mut self) -> Result<Program> {
+        let mut inputs = Vec::new();
+        let mut state = Vec::new();
+        loop {
+            if self.eat_keyword("input") {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.parse_ty()?;
+                self.expect(&TokenKind::Semi)?;
+                inputs.push(InputDecl { name, ty });
+            } else if self.eat_keyword("state") {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.parse_ty()?;
+                self.expect(&TokenKind::Assign)?;
+                let init = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                state.push(StateDecl { name, ty, init });
+            } else {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        while !self.check_keyword("return") && !self.at_eof() {
+            body.push(self.parse_stmt()?);
+        }
+        let mut returns = Vec::new();
+        if self.eat_keyword("return") {
+            returns.push(self.expect_ident()?);
+            while self.eat(&TokenKind::Comma) {
+                returns.push(self.expect_ident()?);
+            }
+            self.expect(&TokenKind::Semi)?;
+        } else {
+            // Default: every state variable is observable.
+            returns = state.iter().map(|d| d.name).collect();
+        }
+        self.expect(&TokenKind::Eof)?;
+        Ok(Program {
+            interner: self.interner,
+            inputs,
+            state,
+            body,
+            returns,
+            summarize_split: None,
+        })
+    }
+
+    fn parse_ty(&mut self) -> Result<Ty> {
+        if self.eat_keyword("int") {
+            Ok(Ty::Int)
+        } else if self.eat_keyword("bool") {
+            Ok(Ty::Bool)
+        } else if self.eat_keyword("seq") {
+            self.expect(&TokenKind::Lt)?;
+            let elem = self.parse_ty()?;
+            self.expect(&TokenKind::Gt)?;
+            Ok(Ty::seq(elem))
+        } else {
+            Err(self.unexpected("a type (`int`, `bool` or `seq<..>`)"))
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        if self.eat_keyword("let") {
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.parse_ty()?;
+            self.expect(&TokenKind::Assign)?;
+            let init = self.parse_expr()?;
+            self.expect(&TokenKind::Semi)?;
+            return Ok(Stmt::Let { name, ty, init });
+        }
+        if self.eat_keyword("for") {
+            let var = self.expect_ident()?;
+            if !self.eat_keyword("in") {
+                return Err(self.unexpected("`in`"));
+            }
+            let lo = self.parse_expr()?;
+            if lo != Expr::Int(0) {
+                return Err(LangError::parse(
+                    "loop lower bound must be the literal 0",
+                    self.line(),
+                ));
+            }
+            self.expect(&TokenKind::DotDot)?;
+            let bound = self.parse_expr()?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::For { var, bound, body });
+        }
+        if self.eat_keyword("if") {
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            let then_branch = self.parse_block()?;
+            let else_branch = if self.eat_keyword("else") {
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        // lvalue = expr ;
+        let base = self.expect_ident()?;
+        let mut indices = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            indices.push(self.parse_expr()?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        self.expect(&TokenKind::Assign)?;
+        let value = self.parse_expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Assign {
+            target: LValue { base, indices },
+            value,
+        })
+    }
+
+    /// Parse a single expression (public so tests and tools can parse
+    /// expression fragments).
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr> {
+        let cond = self.parse_or()?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.parse_expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let e = self.parse_expr()?;
+            Ok(Expr::ite(cond, t, e))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.parse_equality()?;
+            lhs = Expr::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_comparison()?;
+        loop {
+            let op = if self.eat(&TokenKind::EqEq) {
+                BinOp::Eq
+            } else if self.eat(&TokenKind::Ne) {
+                BinOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_comparison()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinOp::Ge
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_additive()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinOp::Div
+            } else if self.eat(&TokenKind::Percent) {
+                BinOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            // Fold negation of literals so `-5` is a literal.
+            if let Expr::Int(n) = e {
+                return Ok(Expr::Int(-n));
+            }
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat(&TokenKind::Bang) {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        while self.eat(&TokenKind::LBracket) {
+            let idx = self.parse_expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            e = Expr::index(e, idx);
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek_kind().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => Ok(Expr::Bool(true)),
+                    "false" => Ok(Expr::Bool(false)),
+                    "min" | "max" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let a = self.parse_expr()?;
+                        self.expect(&TokenKind::Comma)?;
+                        let b = self.parse_expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        let op = if name == "min" {
+                            BinOp::Min
+                        } else {
+                            BinOp::Max
+                        };
+                        Ok(Expr::bin(op, a, b))
+                    }
+                    "len" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let e = self.parse_expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Len(Box::new(e)))
+                    }
+                    "zeros" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let e = self.parse_expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Zeros(Box::new(e)))
+                    }
+                    _ => Ok(Expr::Var(self.interner.intern(&name))),
+                }
+            }
+            other => Err(LangError::parse(
+                format!("expected an expression, found {}", other.describe()),
+                line,
+            )),
+        }
+    }
+
+    // --- token helpers -------------------------------------------------
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) {
+        if !self.at_eof() {
+            self.pos += 1;
+        }
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.check_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<Sym> {
+        let line = self.line();
+        if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            self.bump();
+            Ok(self.interner.intern(&name))
+        } else {
+            Err(LangError::parse(
+                format!(
+                    "expected an identifier, found {}",
+                    self.peek_kind().describe()
+                ),
+                line,
+            ))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> LangError {
+        LangError::parse(
+            format!("expected {wanted}, found {}", self.peek_kind().describe()),
+            self.line(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Lexer;
+
+    fn parse_src(src: &str) -> Result<Program> {
+        Parser::new(Lexer::new(src).tokenize()?).parse_program()
+    }
+
+    #[test]
+    fn parses_sum_program() {
+        let p = parse_src(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }\n\
+             return s;",
+        )
+        .unwrap();
+        assert_eq!(p.inputs.len(), 1);
+        assert_eq!(p.state.len(), 1);
+        assert_eq!(p.loop_depth(), 2);
+        assert_eq!(p.returns.len(), 1);
+    }
+
+    #[test]
+    fn parses_ternary_and_precedence() {
+        let p = parse_src(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + (a[i] > 0 ? a[i] : 0 - a[i]); }",
+        )
+        .unwrap();
+        // default returns = all state vars
+        assert_eq!(p.returns, vec![p.sym("s").unwrap()]);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let mut parser = Parser::new(Lexer::new("1 + 2 * 3").tokenize().unwrap());
+        let e = parser.parse_expr().unwrap();
+        assert_eq!(
+            e,
+            Expr::add(
+                Expr::int(1),
+                Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_min_max_len_intrinsics() {
+        let mut parser = Parser::new(Lexer::new("max(min(x, 1), len(a))").tokenize().unwrap());
+        let e = parser.parse_expr().unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Max, _, _)));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let mut parser = Parser::new(Lexer::new("-42").tokenize().unwrap());
+        assert_eq!(parser.parse_expr().unwrap(), Expr::Int(-42));
+    }
+
+    #[test]
+    fn rejects_nonzero_lower_bound() {
+        let err = parse_src(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 1 .. len(a) { s = s + a[i]; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("lower bound"));
+    }
+
+    #[test]
+    fn parses_if_else_and_indexed_assign() {
+        let p = parse_src(
+            "input a : seq<int>; state r : seq<int> = a; state c : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               if (a[i] > 0) { r[i] = a[i]; c = c + 1; } else { r[i] = 0; }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.state.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_src("input a : seq<int>;\nstate s : int = ;").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Pretty-printing of expressions, statements and programs.
+//!
+//! Because identifiers are interned, printing needs an [`Interner`];
+//! the entry points take one and return displayable wrappers.
+
+use crate::ast::{Expr, Interner, LValue, Program, Stmt, UnOp};
+use std::fmt::{self, Write as _};
+
+/// Render an expression to a string using `interner` for names.
+pub fn expr_to_string(interner: &Interner, e: &Expr) -> String {
+    PrettyExpr { interner, expr: e }.to_string()
+}
+
+/// Render a statement (with nested blocks) to a string.
+pub fn stmt_to_string(interner: &Interner, s: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, interner, s, 0).expect("write to String cannot fail");
+    out
+}
+
+/// Render a whole program back to (re-parseable) surface syntax.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for input in &p.inputs {
+        let _ = writeln!(out, "input {} : {};", p.name(input.name), input.ty);
+    }
+    for decl in &p.state {
+        let _ = writeln!(
+            out,
+            "state {} : {} = {};",
+            p.name(decl.name),
+            decl.ty,
+            expr_to_string(&p.interner, &decl.init)
+        );
+    }
+    for stmt in &p.body {
+        let _ = write_stmt(&mut out, &p.interner, stmt, 0);
+    }
+    if !p.returns.is_empty() {
+        let names: Vec<&str> = p.returns.iter().map(|&s| p.name(s)).collect();
+        let _ = writeln!(out, "return {};", names.join(", "));
+    }
+    out
+}
+
+/// A displayable expression wrapper.
+struct PrettyExpr<'a> {
+    interner: &'a Interner,
+    expr: &'a Expr,
+}
+
+impl fmt::Display for PrettyExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self.interner, self.expr, 0)
+    }
+}
+
+/// Operator precedence used to minimize parentheses; larger binds tighter.
+fn prec(e: &Expr) -> u8 {
+    use crate::ast::BinOp::*;
+    match e {
+        Expr::Ite(..) => 1,
+        Expr::Binary(op, ..) => match op {
+            Or => 2,
+            And => 3,
+            Eq | Ne => 4,
+            Lt | Le | Gt | Ge => 5,
+            Add | Sub => 6,
+            Mul | Div | Rem => 7,
+            Min | Max => 10, // printed as calls
+        },
+        Expr::Unary(..) => 8,
+        _ => 10,
+    }
+}
+
+fn write_expr(
+    f: &mut dyn fmt::Write,
+    interner: &Interner,
+    e: &Expr,
+    parent_prec: u8,
+) -> fmt::Result {
+    use crate::ast::BinOp::{Max, Min};
+    let my_prec = prec(e);
+    let needs_parens = my_prec < parent_prec;
+    if needs_parens {
+        f.write_char('(')?;
+    }
+    match e {
+        Expr::Int(n) => write!(f, "{n}")?,
+        Expr::Bool(b) => write!(f, "{b}")?,
+        Expr::Var(s) => f.write_str(interner.name(*s))?,
+        Expr::Index(base, idx) => {
+            write_expr(f, interner, base, 10)?;
+            f.write_char('[')?;
+            write_expr(f, interner, idx, 0)?;
+            f.write_char(']')?;
+        }
+        Expr::Len(inner) => {
+            f.write_str("len(")?;
+            write_expr(f, interner, inner, 0)?;
+            f.write_char(')')?;
+        }
+        Expr::Zeros(inner) => {
+            f.write_str("zeros(")?;
+            write_expr(f, interner, inner, 0)?;
+            f.write_char(')')?;
+        }
+        Expr::Unary(op, inner) => {
+            f.write_char(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            })?;
+            write_expr(f, interner, inner, my_prec)?;
+        }
+        Expr::Binary(op, a, b) if matches!(op, Min | Max) => {
+            write!(f, "{op}(")?;
+            write_expr(f, interner, a, 0)?;
+            f.write_str(", ")?;
+            write_expr(f, interner, b, 0)?;
+            f.write_char(')')?;
+        }
+        Expr::Binary(op, a, b) => {
+            write_expr(f, interner, a, my_prec)?;
+            write!(f, " {op} ")?;
+            write_expr(f, interner, b, my_prec + 1)?;
+        }
+        Expr::Ite(c, t, e2) => {
+            write_expr(f, interner, c, my_prec + 1)?;
+            f.write_str(" ? ")?;
+            write_expr(f, interner, t, my_prec)?;
+            f.write_str(" : ")?;
+            write_expr(f, interner, e2, my_prec)?;
+        }
+    }
+    if needs_parens {
+        f.write_char(')')?;
+    }
+    Ok(())
+}
+
+fn write_lvalue(f: &mut dyn fmt::Write, interner: &Interner, lv: &LValue) -> fmt::Result {
+    f.write_str(interner.name(lv.base))?;
+    for idx in &lv.indices {
+        f.write_char('[')?;
+        write_expr(f, interner, idx, 0)?;
+        f.write_char(']')?;
+    }
+    Ok(())
+}
+
+fn write_stmt(f: &mut dyn fmt::Write, interner: &Interner, s: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Let { name, ty, init } => {
+            write!(f, "{pad}let {} : {} = ", interner.name(*name), ty)?;
+            write_expr(f, interner, init, 0)?;
+            f.write_str(";\n")
+        }
+        Stmt::Assign { target, value } => {
+            f.write_str(&pad)?;
+            write_lvalue(f, interner, target)?;
+            f.write_str(" = ")?;
+            write_expr(f, interner, value, 0)?;
+            f.write_str(";\n")
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            write!(f, "{pad}if (")?;
+            write_expr(f, interner, cond, 0)?;
+            f.write_str(") {\n")?;
+            for stmt in then_branch {
+                write_stmt(f, interner, stmt, indent + 1)?;
+            }
+            if else_branch.is_empty() {
+                writeln!(f, "{pad}}}")
+            } else {
+                writeln!(f, "{pad}}} else {{")?;
+                for stmt in else_branch {
+                    write_stmt(f, interner, stmt, indent + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+        }
+        Stmt::For { var, bound, body } => {
+            write!(f, "{pad}for {} in 0 .. ", interner.name(*var))?;
+            write_expr(f, interner, bound, 0)?;
+            f.write_str(" {\n")?;
+            for stmt in body {
+                write_stmt(f, interner, stmt, indent + 1)?;
+            }
+            writeln!(f, "{pad}}}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn program_round_trips_through_pretty_printer() {
+        let src = "input a : seq<seq<int>>; state s : int = 0;\n\
+                   state m : int = 0 - 100;\n\
+                   for i in 0 .. len(a) {\n\
+                     let row : int = 0;\n\
+                     for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+                     if (row > m) { m = row; } else { s = s + 1; }\n\
+                   }\n\
+                   return s, m;";
+        let p1 = parse(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse(&printed).unwrap();
+        // Semantic round trip: both programs produce the same output.
+        let input = crate::Value::seq2_of_ints(&[vec![5, -1], vec![2, 2]]);
+        let o1 = crate::interp::run_program(&p1, std::slice::from_ref(&input)).unwrap();
+        let o2 = crate::interp::run_program(&p2, &[input]).unwrap();
+        assert_eq!(o1.scalar_named(&p1, "s"), o2.scalar_named(&p2, "s"));
+        assert_eq!(o1.scalar_named(&p1, "m"), o2.scalar_named(&p2, "m"));
+    }
+
+    #[test]
+    fn minimal_parentheses() {
+        let p = parse(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + a[i] * 2; }",
+        )
+        .unwrap();
+        let printed = program_to_string(&p);
+        assert!(printed.contains("s = s + a[i] * 2;"), "got:\n{printed}");
+    }
+
+    #[test]
+    fn max_prints_as_call() {
+        let p = parse(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = max(s + a[i], 0); }",
+        )
+        .unwrap();
+        assert!(program_to_string(&p).contains("max(s + a[i], 0)"));
+    }
+
+    #[test]
+    fn ternary_parenthesized_inside_arithmetic() {
+        let p = parse(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + (a[i] > 0 ? 1 : 0); }",
+        )
+        .unwrap();
+        let printed = program_to_string(&p);
+        let reparsed = parse(&printed).unwrap();
+        let input = crate::Value::seq_of_ints(&[3, -4, 5]);
+        let o1 = crate::interp::run_program(&p, std::slice::from_ref(&input)).unwrap();
+        let o2 = crate::interp::run_program(&reparsed, &[input]).unwrap();
+        assert_eq!(o1.scalar_named(&p, "s"), o2.scalar_named(&reparsed, "s"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The type language: scalars and multidimensional sequences.
+//!
+//! Type `S^n` from §4 of the paper is represented as `n` nested
+//! [`Ty::Seq`] constructors around a scalar base, e.g. `seq<seq<int>>`
+//! is the 2-dimensional sequence type `S²`.
+
+use std::fmt;
+
+/// A type of the mini language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// Machine integer (the paper's `int`, assumed constant-size).
+    Int,
+    /// Boolean.
+    Bool,
+    /// A sequence of elements of the inner type (`S^{n}` when the inner
+    /// type is `S^{n-1}`); stands in for arrays, lists or any collection
+    /// with a linear iterator and associative concatenation.
+    Seq(Box<Ty>),
+}
+
+impl Ty {
+    /// Build `seq<elem>`.
+    pub fn seq(elem: Ty) -> Ty {
+        Ty::Seq(Box::new(elem))
+    }
+
+    /// Build the `n`-dimensional sequence of `base` (`n == 0` returns
+    /// `base` itself).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use parsynt_lang::Ty;
+    /// assert_eq!(Ty::seq_n(Ty::Int, 2), Ty::seq(Ty::seq(Ty::Int)));
+    /// ```
+    pub fn seq_n(base: Ty, n: usize) -> Ty {
+        (0..n).fold(base, |t, _| Ty::seq(t))
+    }
+
+    /// The dimension of this type: 0 for scalars, 1 + dim of the element
+    /// type for sequences (the `n` of `S^n`).
+    pub fn dim(&self) -> usize {
+        match self {
+            Ty::Int | Ty::Bool => 0,
+            Ty::Seq(elem) => 1 + elem.dim(),
+        }
+    }
+
+    /// The element type of a sequence, or `None` for scalars.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Seq(elem) => Some(elem),
+            _ => None,
+        }
+    }
+
+    /// The innermost scalar type underneath all sequence constructors.
+    pub fn base(&self) -> &Ty {
+        match self {
+            Ty::Seq(elem) => elem.base(),
+            other => other,
+        }
+    }
+
+    /// Whether this is a scalar (constant-size) type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Bool)
+    }
+
+    /// Whether this is a sequence type.
+    pub fn is_seq(&self) -> bool {
+        matches!(self, Ty::Seq(_))
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Seq(elem) => write!(f, "seq<{elem}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_counts_nesting() {
+        assert_eq!(Ty::Int.dim(), 0);
+        assert_eq!(Ty::seq(Ty::Int).dim(), 1);
+        assert_eq!(Ty::seq_n(Ty::Int, 3).dim(), 3);
+    }
+
+    #[test]
+    fn elem_peels_one_layer() {
+        let t = Ty::seq_n(Ty::Bool, 2);
+        assert_eq!(t.elem(), Some(&Ty::seq(Ty::Bool)));
+        assert_eq!(Ty::Int.elem(), None);
+    }
+
+    #[test]
+    fn base_reaches_scalar() {
+        assert_eq!(Ty::seq_n(Ty::Bool, 4).base(), &Ty::Bool);
+        assert_eq!(Ty::Int.base(), &Ty::Int);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        assert_eq!(Ty::seq(Ty::seq(Ty::Int)).to_string(), "seq<seq<int>>");
+        assert_eq!(Ty::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn scalar_and_seq_predicates() {
+        assert!(Ty::Int.is_scalar());
+        assert!(!Ty::Int.is_seq());
+        assert!(Ty::seq(Ty::Int).is_seq());
+        assert!(!Ty::seq(Ty::Int).is_scalar());
+    }
+}

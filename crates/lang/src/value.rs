@@ -1,0 +1,219 @@
+//! Runtime values of the mini language.
+
+use crate::ty::Ty;
+use std::fmt;
+
+/// A runtime value: a scalar or a (possibly nested) sequence.
+///
+/// Sequences are stored as plain vectors; the interpreter never mutates
+/// input values (the paper's programs are read-only over their inputs),
+/// so sharing by reference is safe throughout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer scalar.
+    Int(i64),
+    /// A boolean scalar.
+    Bool(bool),
+    /// A sequence of values (all of the same type).
+    Seq(Vec<Value>),
+}
+
+impl Value {
+    /// Build a 1-dimensional integer sequence.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use parsynt_lang::Value;
+    /// let v = Value::seq_of_ints(&[1, 2]);
+    /// assert_eq!(v.len(), Some(2));
+    /// ```
+    pub fn seq_of_ints(items: &[i64]) -> Value {
+        Value::Seq(items.iter().copied().map(Value::Int).collect())
+    }
+
+    /// Build a 2-dimensional integer sequence from rows.
+    pub fn seq2_of_ints(rows: &[Vec<i64>]) -> Value {
+        Value::Seq(rows.iter().map(|r| Value::seq_of_ints(r)).collect())
+    }
+
+    /// Build a 3-dimensional integer sequence from planes of rows.
+    pub fn seq3_of_ints(planes: &[Vec<Vec<i64>>]) -> Value {
+        Value::Seq(planes.iter().map(|p| Value::seq2_of_ints(p)).collect())
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Length of a sequence value; `None` for scalars.
+    pub fn len(&self) -> Option<usize> {
+        self.as_seq().map(<[Value]>::len)
+    }
+
+    /// Whether this is an empty sequence. Scalars are never "empty".
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// The runtime type of the value. Empty sequences report `seq<int>`
+    /// since the element type cannot be observed.
+    pub fn type_of(&self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Int,
+            Value::Bool(_) => Ty::Bool,
+            Value::Seq(items) => match items.first() {
+                Some(first) => Ty::seq(first.type_of()),
+                None => Ty::seq(Ty::Int),
+            },
+        }
+    }
+
+    /// Concatenate two sequence values (the `•` operator of §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is a scalar: concatenation is only defined on
+    /// sequences.
+    pub fn concat(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Seq(a), Value::Seq(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Value::Seq(out)
+            }
+            _ => panic!("concat is only defined on sequences"),
+        }
+    }
+
+    /// The subsequence `self[lo..hi]` of a sequence value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a scalar or the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Value {
+        match self {
+            Value::Seq(items) => Value::Seq(items[lo..hi].to_vec()),
+            _ => panic!("slice is only defined on sequences"),
+        }
+    }
+
+    /// The default value of a type: `0`, `false`, or the empty sequence.
+    pub fn zero_of(ty: &Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Bool => Value::Bool(false),
+            Ty::Seq(_) => Value::Seq(Vec::new()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Seq(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::seq2_of_ints(&[vec![1, 2], vec![3]]);
+        assert_eq!(v.len(), Some(2));
+        assert_eq!(
+            v.as_seq().unwrap()[0].as_seq().unwrap()[1].as_int(),
+            Some(2)
+        );
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(3).as_seq(), None);
+    }
+
+    #[test]
+    fn type_of_nested() {
+        let v = Value::seq3_of_ints(&[vec![vec![1]]]);
+        assert_eq!(v.type_of(), Ty::seq_n(Ty::Int, 3));
+        assert_eq!(Value::Seq(vec![]).type_of(), Ty::seq(Ty::Int));
+    }
+
+    #[test]
+    fn concat_is_associative_on_samples() {
+        let a = Value::seq_of_ints(&[1]);
+        let b = Value::seq_of_ints(&[2, 3]);
+        let c = Value::seq_of_ints(&[4]);
+        assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+    }
+
+    #[test]
+    fn slice_matches_concat_split() {
+        let x = Value::seq_of_ints(&[5, 6, 7, 8]);
+        let l = x.slice(0, 2);
+        let r = x.slice(2, 4);
+        assert_eq!(l.concat(&r), x);
+    }
+
+    #[test]
+    fn zero_of_each_type() {
+        assert_eq!(Value::zero_of(&Ty::Int), Value::Int(0));
+        assert_eq!(Value::zero_of(&Ty::Bool), Value::Bool(false));
+        assert_eq!(Value::zero_of(&Ty::seq(Ty::Int)), Value::Seq(vec![]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::seq_of_ints(&[1, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    #[should_panic(expected = "concat is only defined on sequences")]
+    fn concat_panics_on_scalars() {
+        let _ = Value::Int(1).concat(&Value::Int(2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the language front end: pretty-print →
+//! re-parse round trips, fold decomposition of the interpreter, and the
+//! slicing identity underlying the whole approach
+//! (`h` on a prefix, resumed on the suffix, equals `h` on the whole).
+
+use parsynt_lang::functional::RightwardFn;
+use parsynt_lang::interp::{run_program, run_program_from};
+use parsynt_lang::pretty::program_to_string;
+use parsynt_lang::{parse, Value};
+use proptest::prelude::*;
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    (1usize..5).prop_flat_map(|cols| {
+        proptest::collection::vec(proptest::collection::vec(-9i64..=9, cols..=cols), 1..8)
+    })
+}
+
+const PROGRAMS: [&str; 4] = [
+    // sum
+    "input a : seq<seq<int>>; state s : int = 0;\n\
+     for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+    // guarded count
+    "input a : seq<seq<int>>; state c : int = 0;\n\
+     for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+       if (a[i][j] > 0) { c = c + 1; } else { c = c - 1; } } }",
+    // row max tracking with lets and ternaries
+    "input a : seq<seq<int>>; state m : int = 0 - 1000;\n\
+     for i in 0 .. len(a) {\n\
+       let rm : int = a[i][0];\n\
+       for j in 0 .. len(a[i]) { rm = rm > a[i][j] ? rm : a[i][j]; }\n\
+       m = max(m, rm);\n\
+     }",
+    // array state
+    "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+     for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+       rec[j] = rec[j] + a[i][j]; } }",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pretty-printing then re-parsing yields an observationally equal
+    /// program.
+    #[test]
+    fn pretty_print_round_trip(rows in arb_rows(), pick in 0usize..PROGRAMS.len()) {
+        let p1 = parse(PROGRAMS[pick]).unwrap();
+        let p2 = parse(&program_to_string(&p1)).unwrap();
+        let input = Value::seq2_of_ints(&rows);
+        let o1 = run_program(&p1, std::slice::from_ref(&input)).unwrap();
+        let o2 = run_program(&p2, &[input]).unwrap();
+        // Compare by name (symbols differ between interners).
+        for decl in &p1.state {
+            let name = p1.name(decl.name);
+            prop_assert_eq!(
+                o1.value_named(&p1, name),
+                o2.value_named(&p2, name),
+                "variable {}", name
+            );
+        }
+    }
+
+    /// The rightward-fold identity: running on a prefix, then resuming
+    /// on the suffix from the intermediate state, equals one full run.
+    #[test]
+    fn prefix_suffix_composition(rows in arb_rows(), pick in 0usize..PROGRAMS.len()) {
+        let p = parse(PROGRAMS[pick]).unwrap();
+        let input = Value::seq2_of_ints(&rows);
+        let n = rows.len();
+        let whole = run_program(&p, std::slice::from_ref(&input)).unwrap();
+        for split in 1..n {
+            let f = RightwardFn::new(&p).unwrap();
+            let prefix = f.apply_slice(std::slice::from_ref(&input), 0, split).unwrap();
+            let resumed = run_program_from(
+                &p,
+                &[input.slice(split, n)],
+                &prefix,
+            ).unwrap();
+            prop_assert_eq!(&resumed, &whole, "split {}", split);
+        }
+    }
+
+    /// The outer-step decomposition of the functional form equals the
+    /// monolithic run.
+    #[test]
+    fn outer_step_decomposition(rows in arb_rows(), pick in 0usize..PROGRAMS.len()) {
+        let p = parse(PROGRAMS[pick]).unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let input = Value::seq2_of_ints(&rows);
+        let inputs = vec![input];
+        let whole = f.apply(&inputs).unwrap();
+        // The initial state is evaluated against the full input: state
+        // initializers may read input shapes (`zeros(len(a[0]))`).
+        let env = parsynt_lang::interp::init_env(&p, &inputs).unwrap();
+        let mut state = parsynt_lang::interp::read_state(&p, &env).unwrap();
+        for i in 0..rows.len() {
+            state = f.outer_step(&inputs, i, &state).unwrap();
+        }
+        prop_assert_eq!(state, whole);
+    }
+
+    /// Memoryless programs: the inner result is independent of the outer
+    /// state (Definition 4.2), exercised on the sum program.
+    #[test]
+    fn inner_phase_state_independence(rows in arb_rows(), weird in -100i64..100) {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let row : int = 0;\n\
+               for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+               s = s + row;\n\
+             }",
+        ).unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let input = Value::seq2_of_ints(&rows);
+        let inputs = vec![input];
+        let s = p.sym("s").unwrap();
+        for i in 0..rows.len() {
+            let from_zero = f.inner_phase_from_zero(&inputs, i).unwrap();
+            let state = parsynt_lang::interp::StateVec::new(
+                vec![(s, Value::Int(weird))],
+            );
+            let (from_weird, _) = f.inner_phase_from(&inputs, i, &state).unwrap();
+            prop_assert_eq!(&from_zero, &from_weird);
+        }
+    }
+}

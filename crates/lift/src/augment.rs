@@ -1,0 +1,298 @@
+//! Program-transformation utilities used by the lifting algorithms.
+
+use parsynt_lang::ast::{Expr, LValue, Program, StateDecl, Stmt, Sym};
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::Ty;
+
+/// Substitute variable `from` with expression `to` in a statement tree
+/// (expressions only; assignment targets are renamed when `to` is a
+/// plain variable).
+pub fn substitute_stmt(stmt: &Stmt, from: Sym, to: &Expr) -> Stmt {
+    let target_rename = match to {
+        Expr::Var(s) => Some(*s),
+        _ => None,
+    };
+    match stmt {
+        Stmt::Let { name, ty, init } => Stmt::Let {
+            name: *name,
+            ty: ty.clone(),
+            init: init.substitute(from, to),
+        },
+        Stmt::Assign { target, value } => {
+            let base = if target.base == from {
+                target_rename.unwrap_or(target.base)
+            } else {
+                target.base
+            };
+            Stmt::Assign {
+                target: LValue {
+                    base,
+                    indices: target
+                        .indices
+                        .iter()
+                        .map(|e| e.substitute(from, to))
+                        .collect(),
+                },
+                value: value.substitute(from, to),
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: cond.substitute(from, to),
+            then_branch: then_branch
+                .iter()
+                .map(|s| substitute_stmt(s, from, to))
+                .collect(),
+            else_branch: else_branch
+                .iter()
+                .map(|s| substitute_stmt(s, from, to))
+                .collect(),
+        },
+        Stmt::For { var, bound, body } => Stmt::For {
+            var: *var,
+            bound: bound.substitute(from, to),
+            body: body.iter().map(|s| substitute_stmt(s, from, to)).collect(),
+        },
+    }
+}
+
+/// Declare a fresh auxiliary state variable and return its symbol.
+pub fn add_state_var(program: &mut Program, base_name: &str, ty: Ty, init: Expr) -> Sym {
+    let sym = program.interner.fresh(base_name);
+    program.state.push(StateDecl {
+        name: sym,
+        ty,
+        init,
+    });
+    sym
+}
+
+/// Remove a state variable's declaration (used when pruning dead
+/// auxiliaries). Statements updating it must be removed separately with
+/// [`remove_assignments`].
+pub fn remove_state_var(program: &mut Program, sym: Sym) {
+    program.state.retain(|d| d.name != sym);
+    program.returns.retain(|&r| r != sym);
+}
+
+/// Remove every assignment to `sym` (and `let` declarations of it) from
+/// a statement list, recursively. Empty `if`s and loops left behind are
+/// removed as well.
+pub fn remove_assignments(stmts: &mut Vec<Stmt>, sym: Sym) {
+    stmts.retain_mut(|stmt| match stmt {
+        Stmt::Let { name, .. } => *name != sym,
+        Stmt::Assign { target, .. } => target.base != sym,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            remove_assignments(then_branch, sym);
+            remove_assignments(else_branch, sym);
+            !(then_branch.is_empty() && else_branch.is_empty())
+        }
+        Stmt::For { body, .. } => {
+            remove_assignments(body, sym);
+            !body.is_empty()
+        }
+    });
+}
+
+/// Append a statement at the end of the outer loop's body.
+///
+/// # Errors
+///
+/// Fails if the program has no outer loop.
+pub fn append_to_outer_body(program: &mut Program, stmt: Stmt) -> Result<()> {
+    let pos = program
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::For { .. }))
+        .ok_or_else(|| LangError::ty("program has no outer loop"))?;
+    match &mut program.body[pos] {
+        Stmt::For { body, .. } => {
+            body.push(stmt);
+            Ok(())
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Insert `mk(assigned_lvalue)` immediately after every assignment to
+/// `watched` in the statement tree. Returns how many updates were
+/// inserted.
+pub fn insert_after_assignments(
+    stmts: &mut Vec<Stmt>,
+    watched: Sym,
+    mk: &dyn Fn(&LValue) -> Stmt,
+) -> usize {
+    let mut inserted = 0;
+    let mut i = 0;
+    while i < stmts.len() {
+        match &mut stmts[i] {
+            Stmt::Assign { target, .. } if target.base == watched => {
+                let new_stmt = mk(&target.clone());
+                stmts.insert(i + 1, new_stmt);
+                inserted += 1;
+                i += 2;
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                inserted += insert_after_assignments(then_branch, watched, mk);
+                inserted += insert_after_assignments(else_branch, watched, mk);
+                i += 1;
+            }
+            Stmt::For { body, .. } => {
+                inserted += insert_after_assignments(body, watched, mk);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    inserted
+}
+
+/// Whether any statement in the tree assigns to `sym`.
+pub fn assigns_to(stmts: &[Stmt], sym: Sym) -> bool {
+    let mut found = false;
+    for stmt in stmts {
+        stmt.walk(&mut |s| {
+            if let Stmt::Assign { target, .. } = s {
+                if target.base == sym {
+                    found = true;
+                }
+            }
+        });
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::interp::run_program;
+    use parsynt_lang::{parse, Value};
+
+    #[test]
+    fn substitute_renames_reads_and_writes() {
+        let p = parse(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + a[i]; }",
+        )
+        .unwrap();
+        let mut p2 = p.clone();
+        let s = p2.sym("s").unwrap();
+        let t = p2.interner.fresh("t");
+        let body = p2.body[0].clone();
+        let renamed = substitute_stmt(&body, s, &Expr::var(t));
+        let mut found = false;
+        renamed.walk(&mut |st| {
+            if let Stmt::Assign { target, value } = st {
+                assert_eq!(target.base, t);
+                assert!(value.mentions(t) && !value.mentions(s));
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn substitute_with_constant_replaces_reads_only() {
+        let p = parse(
+            "input a : seq<int>; state s : int = 0; state q : int = 0;\n\
+             for i in 0 .. len(a) { q = q + s; }",
+        )
+        .unwrap();
+        let s = p.sym("s").unwrap();
+        let body = p.body[0].clone();
+        let replaced = substitute_stmt(&body, s, &Expr::int(0));
+        replaced.walk(&mut |st| {
+            if let Stmt::Assign { value, .. } = st {
+                assert!(!value.mentions(s));
+            }
+        });
+    }
+
+    #[test]
+    fn add_and_use_aux_var() {
+        let mut p = parse(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }\n\
+             return m;",
+        )
+        .unwrap();
+        let aux = add_state_var(&mut p, "aux_sum", Ty::Int, Expr::int(0));
+        let i = p.sym("i").unwrap();
+        let a = p.sym("a").unwrap();
+        append_to_outer_body(
+            &mut p,
+            Stmt::Assign {
+                target: LValue::var(aux),
+                value: Expr::add(Expr::var(aux), Expr::index(Expr::var(a), Expr::var(i))),
+            },
+        )
+        .unwrap();
+        let out = run_program(&p, &[Value::seq_of_ints(&[3, -1, 2])]).unwrap();
+        assert_eq!(out.scalar_named(&p, "aux_sum"), Some(4));
+        assert_eq!(out.scalar_named(&p, "m"), Some(4));
+        // Returns are unchanged: aux is not observable.
+        assert_eq!(p.returns.len(), 1);
+    }
+
+    #[test]
+    fn insert_after_assignments_tracks_running_min() {
+        let mut p = parse(
+            "input a : seq<seq<int>>; state q : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               for j in 0 .. len(a[i]) { lo = lo + a[i][j]; }\n\
+               q = q + lo;\n\
+             }",
+        )
+        .unwrap();
+        let lo = p.sym("lo").unwrap();
+        let mo = p.interner.fresh("mo");
+        // Find the outer body and insert the `let mo` + tracking update.
+        let Stmt::For { body, .. } = &mut p.body[0] else {
+            panic!()
+        };
+        body.insert(
+            1,
+            Stmt::Let {
+                name: mo,
+                ty: Ty::Int,
+                init: Expr::int(0),
+            },
+        );
+        let count = insert_after_assignments(body, lo, &|_| Stmt::Assign {
+            target: LValue::var(mo),
+            value: Expr::min(Expr::var(mo), Expr::var(lo)),
+        });
+        assert_eq!(count, 1);
+        assert!(assigns_to(body, mo));
+    }
+
+    #[test]
+    fn remove_assignments_cleans_empty_blocks() {
+        let mut p = parse(
+            "input a : seq<int>; state s : int = 0; state t : int = 0;\n\
+             for i in 0 .. len(a) { if (a[i] > 0) { t = t + 1; } s = s + a[i]; }",
+        )
+        .unwrap();
+        let t = p.sym("t").unwrap();
+        remove_assignments(&mut p.body, t);
+        remove_state_var(&mut p, t);
+        // The `if` became empty and was removed.
+        let Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 1);
+        assert_eq!(p.state.len(), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! Normalization-driven discovery of auxiliary accumulators (§8).
+//!
+//! The algorithm of §8.2:
+//!
+//! 1. **Unfold** the summarized loop symbolically over `k = 2` abstract
+//!    elements (the left-hand side of Equation 3);
+//! 2. **Normalize** each state variable's unfolding with the phase-1
+//!    cost (state variables to minimal depth/occurrences);
+//! 3. In the resulting (constant or ⊳-recursive) normal form, the
+//!    **input-only subexpressions** are exactly the values a parallel
+//!    join additionally needs;
+//! 4. **Recursion discovery**: express the `k`-element value `u_k` as
+//!    `u_{k-1} ⊞ a_k` by matching `u_{k-1}` as a subtree of `u_k`
+//!    (subtree isomorphism specialised to fold/last schemes), which
+//!    yields the accumulator's update statement.
+
+use parsynt_lang::ast::{BinOp, Expr, Program, Sym};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_rewrite::cost::Phase1Cost;
+use parsynt_rewrite::normal_form::{classify, flatten, Purity};
+use parsynt_rewrite::normalize::Normalizer;
+use parsynt_rewrite::symbolic::{sym_exec_all, SymEnv, SymVal};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A discovered auxiliary accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuxSpec {
+    /// Suggested variable name.
+    pub hint: String,
+    /// Fold operator, or `None` for an overwrite ("last element")
+    /// accumulator.
+    pub op: Option<BinOp>,
+    /// Per-iteration contribution, over the program's inner-accumulator
+    /// symbols (or input element projections for 1-dimensional loops).
+    pub contribution: Expr,
+    /// Initial value.
+    pub init: Expr,
+}
+
+/// Result of a discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct Discovery {
+    /// Discovered accumulators, deduplicated.
+    pub specs: Vec<AuxSpec>,
+    /// Time spent unfolding + normalizing (the paper's "lifting time",
+    /// reported as negligible in §9).
+    pub elapsed: Duration,
+}
+
+/// The element interface of one unfolding step: for each inner
+/// accumulator (or the 1-D input element), a fresh leaf symbol.
+#[derive(Debug, Clone)]
+struct StepLeaves {
+    /// leaf symbol → the expression it denotes in the real program.
+    back: BTreeMap<Sym, Expr>,
+}
+
+/// Best-effort type inference for a contribution expression: auxiliary
+/// accumulators are integers, so boolean-valued discoveries (e.g. the
+/// conditional guards of LCS-style loops) are rejected here — exactly
+/// the "conditional auxiliary accumulators fall beyond the reach of the
+/// heuristics" limitation of §10.
+fn is_int_expr(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) => true,
+        Expr::Bool(_) => false,
+        Expr::Var(_) | Expr::Index(..) | Expr::Len(_) => true,
+        Expr::Zeros(_) => false,
+        Expr::Unary(op, a) => matches!(op, parsynt_lang::ast::UnOp::Neg) && is_int_expr(a),
+        Expr::Binary(op, a, b) => {
+            op.result_ty() == parsynt_lang::Ty::Int && is_int_expr(a) && is_int_expr(b)
+        }
+        Expr::Ite(_, t, e2) => is_int_expr(t) && is_int_expr(e2),
+    }
+}
+
+/// Run aux discovery on a (memoryless) program.
+pub fn discover(program: &Program) -> Discovery {
+    let start = Instant::now();
+    let mut specs = Vec::new();
+    if let Some((u2_map, state_leaves)) = unfold(program, 2) {
+        let u1_map = unfold(program, 1);
+        let is_state = {
+            let leaves = state_leaves.clone();
+            move |s: Sym| leaves.contains(&s)
+        };
+        let cost = Phase1Cost::new(is_state.clone());
+        let normalizer = Normalizer::new();
+        for (sym, (expr2, leaves2)) in &u2_map {
+            let norm2 = normalizer.run(expr2, &cost).best;
+            let mut inputs_only = Vec::new();
+            maximal_input_only(&norm2, &is_state, &mut inputs_only);
+            let u1_info = u1_map.as_ref().and_then(|(m, _)| m.get(sym));
+            for u2 in inputs_only {
+                if let Some(spec) = recover_recursion(program, &u2, u1_info, leaves2) {
+                    if is_int_expr(&spec.contribution) && !specs.contains(&spec) {
+                        specs.push(spec);
+                    }
+                }
+            }
+        }
+    }
+    Discovery {
+        specs,
+        elapsed: start.elapsed(),
+    }
+}
+
+type UnfoldMap = BTreeMap<Sym, (Expr, Vec<StepLeaves>)>;
+
+/// Symbolically unfold the summarized loop body `k` times. Returns per
+/// scalar state variable its unfolded expression, plus the state-leaf
+/// set. `None` when symbolic execution fails (e.g. array state).
+fn unfold(program: &Program, k: usize) -> Option<(UnfoldMap, Vec<Sym>)> {
+    let f = RightwardFn::new(program).ok()?;
+    let mut interner = program.interner.clone();
+    let mut env = SymEnv::new();
+    let mut state_leaves = Vec::new();
+    for decl in &program.state {
+        if !decl.ty.is_scalar() {
+            return None;
+        }
+        // State starts as an opaque leaf standing for h(x).
+        let leaf = interner.fresh(&format!("{}@0", program.name(decl.name)));
+        env.set(decl.name, SymVal::leaf(leaf));
+        state_leaves.push(leaf);
+    }
+
+    let one_dimensional = f.inner_vars().is_empty();
+    // For 1-dimensional loops, bind the main input once to an array of
+    // fresh element leaves; each step advances the loop counter.
+    let mut element_leaves: Vec<Sym> = Vec::new();
+    if one_dimensional {
+        let main = &program.inputs[f.main_input()];
+        let elems: Vec<SymVal> = (0..k)
+            .map(|j| {
+                let leaf = interner.fresh(&format!("elem{j}"));
+                element_leaves.push(leaf);
+                SymVal::leaf(leaf)
+            })
+            .collect();
+        env.set(main.name, SymVal::Array(elems));
+    }
+
+    let mut all_leaves: Vec<StepLeaves> = Vec::new();
+    for step in 1..=k {
+        let mut leaves = StepLeaves {
+            back: BTreeMap::new(),
+        };
+        if one_dimensional {
+            let main = &program.inputs[f.main_input()];
+            leaves.back.insert(
+                element_leaves[step - 1],
+                Expr::index(Expr::var(main.name), Expr::var(f.loop_var())),
+            );
+            env.set(f.loop_var(), SymVal::int((step - 1) as i64));
+        } else {
+            for (sym, ty) in f.inner_vars() {
+                if !ty.is_scalar() {
+                    return None;
+                }
+                let leaf = interner.fresh(&format!("{}@{step}", program.name(*sym)));
+                env.set(*sym, SymVal::leaf(leaf));
+                leaves.back.insert(leaf, Expr::var(*sym));
+            }
+        }
+        let mut scratch = env.clone();
+        sym_exec_all(&mut scratch, f.outer_phase()).ok()?;
+        env = scratch;
+        all_leaves.push(leaves);
+    }
+
+    let mut out = BTreeMap::new();
+    for decl in &program.state {
+        if let Ok(SymVal::Scalar(e)) = env.get(decl.name) {
+            out.insert(decl.name, (e.clone(), all_leaves.clone()));
+        }
+    }
+    Some((out, state_leaves))
+}
+
+/// Collect the maximal input-only subexpressions of a normal form (the
+/// `exp_i` leaves of the paper's constant normal form).
+fn maximal_input_only(e: &Expr, is_state: &dyn Fn(Sym) -> bool, out: &mut Vec<Expr>) {
+    match classify(e, is_state) {
+        Purity::InputOnly => {
+            // Skip bare constants and trivial leaves.
+            if e.size() >= 1 && !matches!(e, Expr::Int(_) | Expr::Bool(_)) && !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        Purity::Mixed => match e {
+            Expr::Len(a) | Expr::Zeros(a) | Expr::Unary(_, a) => {
+                maximal_input_only(a, is_state, out)
+            }
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+                maximal_input_only(a, is_state, out);
+                maximal_input_only(b, is_state, out);
+            }
+            Expr::Ite(c, t, e2) => {
+                maximal_input_only(c, is_state, out);
+                maximal_input_only(t, is_state, out);
+                maximal_input_only(e2, is_state, out);
+            }
+            _ => {}
+        },
+        Purity::Constant | Purity::StateOnly => {}
+    }
+}
+
+/// Given the 2-step input-only value `u2`, recover a recursive
+/// computation for it: either a fold `u_k = u_{k-1} ⊞ a_k` or an
+/// overwrite (`u_k` mentions only the last element).
+fn recover_recursion(
+    program: &Program,
+    u2: &Expr,
+    _u1: Option<&(Expr, Vec<StepLeaves>)>,
+    leaves2: &[StepLeaves],
+) -> Option<AuxSpec> {
+    let step_of =
+        |s: Sym| -> Option<usize> { leaves2.iter().position(|sl| sl.back.contains_key(&s)) };
+    let map_back = |e: &Expr| -> Option<Expr> {
+        let mut ok = true;
+        let mapped = e.map(&mut |sub| {
+            if let Expr::Var(s) = sub {
+                for sl in leaves2 {
+                    if let Some(real) = sl.back.get(s) {
+                        return Some(real.clone());
+                    }
+                }
+                ok = false;
+            }
+            None
+        });
+        ok.then_some(mapped)
+    };
+
+    let vars = u2.vars();
+    let steps: Vec<Option<usize>> = vars.iter().map(|&v| step_of(v)).collect();
+    if steps.iter().any(Option::is_none) {
+        return None;
+    }
+    let steps: Vec<usize> = steps.into_iter().flatten().collect();
+    let last_step = leaves2.len() - 1;
+
+    // Case A: only last-step leaves — an overwrite accumulator
+    // ("remember the last line", the shape of Prop. 5.4's default lift
+    // restricted to what the join needs).
+    if steps.iter().all(|&s| s == last_step) {
+        let contribution = map_back(u2)?;
+        return Some(AuxSpec {
+            hint: "aux_last".to_owned(),
+            op: None,
+            init: Expr::int(0),
+            contribution,
+        });
+    }
+
+    // Case B: fold — flatten on an associative operator and split the
+    // chunks by step.
+    for op in [BinOp::Add, BinOp::Max, BinOp::Min, BinOp::And, BinOp::Or] {
+        let mut chunks = Vec::new();
+        flatten(u2, op, &mut chunks);
+        if chunks.len() < 2 {
+            continue;
+        }
+        let mut last_chunks = Vec::new();
+        let mut earlier_chunks = Vec::new();
+        let mut mixed = false;
+        for chunk in &chunks {
+            let cvars = chunk.vars();
+            if cvars.is_empty() {
+                earlier_chunks.push(*chunk);
+                continue;
+            }
+            let csteps: Vec<usize> = cvars.iter().filter_map(|&v| step_of(v)).collect();
+            if csteps.iter().all(|&s| s == last_step) {
+                last_chunks.push(*chunk);
+            } else if csteps.iter().all(|&s| s != last_step) {
+                earlier_chunks.push(*chunk);
+            } else {
+                mixed = true;
+            }
+        }
+        if mixed || last_chunks.is_empty() || earlier_chunks.is_empty() {
+            continue;
+        }
+        // The last-step chunks are the per-iteration contribution.
+        let contribution_raw = last_chunks
+            .iter()
+            .skip(1)
+            .fold((*last_chunks[0]).clone(), |acc, c| {
+                Expr::bin(op, acc, (*c).clone())
+            });
+        let contribution = map_back(&contribution_raw)?;
+        let hint = format!(
+            "aux_{}",
+            match op {
+                BinOp::Add => "sum",
+                BinOp::Max => "max",
+                BinOp::Min => "min",
+                BinOp::And => "all",
+                BinOp::Or => "any",
+                _ => "fold",
+            }
+        );
+        let _ = program;
+        return Some(AuxSpec {
+            hint,
+            op: Some(op),
+            init: Expr::int(0),
+            contribution,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+
+    #[test]
+    fn discovers_sum_accumulator_for_mbbs() {
+        // The introduction's example: lifting mbbs needs aux_sum
+        // (Figure 1(b)). The summarized body is s = max(s + t, 0).
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let t : int = 0;\n\
+               for j in 0 .. len(a[i]) { t = t + a[i][j]; }\n\
+               s = max(s + t, 0);\n\
+             }",
+        )
+        .unwrap();
+        let found = discover(&p);
+        let t = p.sym("t").unwrap();
+        assert!(
+            found
+                .specs
+                .iter()
+                .any(|s| s.op == Some(BinOp::Add) && s.contribution == Expr::var(t)),
+            "specs: {:?}",
+            found.specs
+        );
+    }
+
+    #[test]
+    fn discovers_sum_for_1d_max_prefix() {
+        // max top strip, 1-D view: m = max(m, m + ... ) — actually
+        // m = max(m + a[i], 0) needs the element sum a[1]+a[2].
+        let p = parse(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }",
+        )
+        .unwrap();
+        let found = discover(&p);
+        assert!(
+            found.specs.iter().any(|s| s.op == Some(BinOp::Add)),
+            "specs: {:?}",
+            found.specs
+        );
+    }
+
+    #[test]
+    fn lifting_time_is_fast() {
+        let p = parse(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }",
+        )
+        .unwrap();
+        let found = discover(&p);
+        // §9: "lifting ... less than a second for all our benchmarks".
+        assert!(found.elapsed.as_secs() < 1);
+    }
+
+    #[test]
+    fn array_state_is_skipped() {
+        let p = parse(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; } }",
+        )
+        .unwrap();
+        // No panic; discovery yields nothing for array state.
+        let found = discover(&p);
+        assert!(found.specs.is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! The homomorphism lift (module III of Figure 7, §5.1, §8) driving
+//! join synthesis to success.
+//!
+//! Strategy: attempt the join directly; on failure, *lift* the program
+//! by adding auxiliary accumulators and retry. Auxiliaries come from two
+//! sources, in order:
+//!
+//! 1. the normalization-driven [discovery](crate::discovery) algorithm
+//!    (§8.1–8.2), and
+//! 2. a catalog of standard accumulators within the Corollary-6.3 space
+//!    budget — running extrema of scalar state, last-element snapshots,
+//!    and (for array-shaped state, `k = 2`) elementwise zip extrema like
+//!    `max_rec[]` of Figure 5(c).
+//!
+//! After a join is found, auxiliaries the join does not (transitively)
+//! need for the returned variables are pruned, and the pruned join is
+//! re-verified.
+
+use crate::augment::{
+    add_state_var, append_to_outer_body, insert_after_assignments, remove_assignments,
+    remove_state_var,
+};
+use crate::discovery::{discover, AuxSpec};
+use parsynt_lang::analysis::analyze;
+use parsynt_lang::ast::{BinOp, Expr, LValue, Program, Stmt, Sym};
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_lang::Ty;
+use parsynt_synth::examples::{join_examples, InputProfile};
+use parsynt_synth::join::{apply_join, synthesize_join, JoinVocab, SynthesizedJoin};
+use parsynt_synth::report::SynthConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Outcome of the homomorphism-lift phase.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Success carries the whole program by design
+pub enum HomLiftOutcome {
+    /// A join was synthesized (after `rounds` lifting rounds).
+    Success {
+        /// The (possibly lifted, then pruned) program.
+        program: Program,
+        /// The synthesized join for it.
+        join: SynthesizedJoin,
+        /// The join vocabulary matching `program`.
+        vocab: JoinVocab,
+        /// Names of auxiliary accumulators retained after pruning.
+        aux: Vec<String>,
+        /// Total join-synthesis time across all rounds (Table 1's
+        /// "join synthesis time").
+        join_time: Duration,
+        /// Time spent in normalization-driven discovery.
+        lift_time: Duration,
+        /// Number of lifting rounds used (0 = no lift needed).
+        rounds: usize,
+    },
+    /// No efficient lifting was found (Theorem 6.4 permits this): the
+    /// loop cannot be parallelized divide-and-conquer style within the
+    /// complexity budget.
+    Failure {
+        /// Total join-synthesis time spent before giving up.
+        join_time: Duration,
+        /// The state variable that resisted synthesis in the last round.
+        failed_var: Option<String>,
+    },
+}
+
+impl HomLiftOutcome {
+    /// Whether a join was found.
+    pub fn is_success(&self) -> bool {
+        matches!(self, HomLiftOutcome::Success { .. })
+    }
+}
+
+/// Run the homomorphism lift on a (memoryless) program.
+///
+/// # Errors
+///
+/// Propagates interpreter errors; an unliftable program is a
+/// [`HomLiftOutcome::Failure`], not an error.
+pub fn homomorphism_lift(
+    program: &Program,
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<HomLiftOutcome> {
+    let mut join_time = Duration::ZERO;
+    let mut lift_time = Duration::ZERO;
+    let mut current = program.clone();
+    let mut added: Vec<Sym> = Vec::new();
+    let mut last_failed: Option<String> = None;
+
+    for round in 0..4 {
+        let mut attempt = current.clone();
+        let (result, vocab) = synthesize_join(&mut attempt, profile, cfg)?;
+        join_time += result.elapsed;
+        if let Some(join) = result.join {
+            let (pruned_program, pruned_join, pruned_vocab, kept) =
+                prune_dead_aux(&attempt, &join, &vocab, &added, profile, cfg)?;
+            return Ok(HomLiftOutcome::Success {
+                aux: kept,
+                program: pruned_program,
+                join: pruned_join,
+                vocab: pruned_vocab,
+                join_time,
+                lift_time,
+                rounds: round,
+            });
+        }
+        last_failed = result.failed_var;
+
+        // Lift and retry.
+        let new_aux = match round {
+            0 => {
+                let found = discover(&current);
+                lift_time += found.elapsed;
+                add_discovered(&mut current, &found.specs)?
+            }
+            1 => add_scalar_catalog(&mut current)?,
+            2 => add_array_catalog(&mut current)?,
+            _ => Vec::new(),
+        };
+        if new_aux.is_empty() && round < 3 {
+            continue;
+        }
+        added.extend(new_aux);
+    }
+
+    Ok(HomLiftOutcome::Failure {
+        join_time,
+        failed_var: last_failed,
+    })
+}
+
+/// Materialize discovered accumulators as state variables with update
+/// statements at the end of the outer body.
+fn add_discovered(program: &mut Program, specs: &[AuxSpec]) -> Result<Vec<Sym>> {
+    let mut added = Vec::new();
+    for spec in specs {
+        let sym = add_state_var(program, &spec.hint, Ty::Int, spec.init.clone());
+        let value = match spec.op {
+            Some(op) => Expr::bin(op, Expr::var(sym), spec.contribution.clone()),
+            None => spec.contribution.clone(),
+        };
+        append_to_outer_body(
+            program,
+            Stmt::Assign {
+                target: LValue::var(sym),
+                value,
+            },
+        )?;
+        added.push(sym);
+    }
+    Ok(added)
+}
+
+/// Catalog round 1: running max/min of every scalar integer state
+/// variable (the prefix-extremum shape; e.g. the max-prefix-sum that
+/// lifts max top strip).
+fn add_scalar_catalog(program: &mut Program) -> Result<Vec<Sym>> {
+    let scalars: Vec<(Sym, String)> = program
+        .state
+        .iter()
+        .filter(|d| d.ty == Ty::Int)
+        .map(|d| (d.name, program.name(d.name).to_owned()))
+        .collect();
+    let mut added = Vec::new();
+    for (watched, name) in scalars {
+        for (tag, op) in [("pmax", BinOp::Max), ("pmin", BinOp::Min)] {
+            let sym = add_state_var(program, &format!("{name}_{tag}"), Ty::Int, Expr::int(0));
+            append_to_outer_body(
+                program,
+                Stmt::Assign {
+                    target: LValue::var(sym),
+                    value: Expr::bin(op, Expr::var(sym), Expr::var(watched)),
+                },
+            )?;
+            added.push(sym);
+        }
+    }
+    Ok(added)
+}
+
+/// Catalog round 2 (array-shaped state, `k = 2`): elementwise running
+/// extrema `aux[j] = max(aux[j], w[j])` inserted right after each update
+/// of `w[j]` — exactly the `max_rec[]` lifting of §2.2 / Figure 5(c).
+fn add_array_catalog(program: &mut Program) -> Result<Vec<Sym>> {
+    let arrays: Vec<(Sym, Ty, Expr, String)> = program
+        .state
+        .iter()
+        .filter(|d| d.ty == Ty::seq(Ty::Int))
+        .map(|d| {
+            (
+                d.name,
+                d.ty.clone(),
+                d.init.clone(),
+                program.name(d.name).to_owned(),
+            )
+        })
+        .collect();
+    let mut added = Vec::new();
+    for (watched, ty, init, name) in arrays {
+        for (tag, op) in [("zmax", BinOp::Max), ("zmin", BinOp::Min)] {
+            let sym = add_state_var(program, &format!("{name}_{tag}"), ty.clone(), init.clone());
+            let inserted = insert_after_assignments(&mut program.body, watched, &|lv| {
+                let idx = lv.indices.first().cloned().unwrap_or(Expr::int(0));
+                Stmt::Assign {
+                    target: LValue::indexed(sym, idx.clone()),
+                    value: Expr::bin(
+                        op,
+                        Expr::index(Expr::var(sym), idx.clone()),
+                        Expr::index(Expr::var(watched), idx),
+                    ),
+                }
+            });
+            if inserted == 0 {
+                remove_state_var(program, sym);
+            } else {
+                added.push(sym);
+            }
+        }
+    }
+    Ok(added)
+}
+
+/// Remove auxiliary variables the join does not (transitively) need to
+/// reconstruct the returned variables, then re-verify the pruned join.
+fn prune_dead_aux(
+    program: &Program,
+    join: &SynthesizedJoin,
+    vocab: &JoinVocab,
+    added: &[Sym],
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<(Program, SynthesizedJoin, JoinVocab, Vec<String>)> {
+    if added.is_empty() {
+        return Ok((program.clone(), join.clone(), vocab.clone(), Vec::new()));
+    }
+    // Map any vocabulary symbol back to its state variable.
+    let var_of = |s: Sym| -> Option<Sym> {
+        vocab
+            .vars
+            .iter()
+            .find(|v| v.sym == s || v.l == s || v.r == s)
+            .map(|v| v.sym)
+    };
+    // Liveness fixpoint over the join statements AND the lifted
+    // program's own updates: a live variable's program update may read
+    // another auxiliary (e.g. a prefix-max reading the sum it tracks),
+    // which must then survive pruning too.
+    let mut live: BTreeSet<Sym> = program.returns.iter().copied().collect();
+    loop {
+        let before = live.len();
+        for stmt in &join.stmts {
+            mark_live(stmt, &var_of, &mut live);
+        }
+        for stmt in &program.body {
+            stmt.walk(&mut |st| {
+                if let Stmt::Assign { target, value } = st {
+                    if live.contains(&target.base) {
+                        for v in value.vars() {
+                            if program.is_state(v) {
+                                live.insert(v);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        if live.len() == before {
+            break;
+        }
+    }
+
+    let dead: Vec<Sym> = added
+        .iter()
+        .copied()
+        .filter(|s| !live.contains(s))
+        .collect();
+    let kept: Vec<String> = added
+        .iter()
+        .filter(|s| live.contains(s))
+        .map(|s| program.name(*s).to_owned())
+        .collect();
+    if dead.is_empty() {
+        return Ok((program.clone(), join.clone(), vocab.clone(), kept));
+    }
+
+    let mut pruned = program.clone();
+    for &sym in &dead {
+        remove_assignments(&mut pruned.body, sym);
+        remove_state_var(&mut pruned, sym);
+    }
+    let mut join_stmts = join.stmts.clone();
+    for &sym in &dead {
+        remove_assignments(&mut join_stmts, sym);
+    }
+    let pruned_vocab = JoinVocab {
+        vars: vocab
+            .vars
+            .iter()
+            .filter(|v| !dead.contains(&v.sym))
+            .cloned()
+            .collect(),
+        loop_var: vocab.loop_var,
+    };
+    let pruned_join = SynthesizedJoin { stmts: join_stmts };
+
+    // Re-verify the pruned join.
+    let f = RightwardFn::new(&pruned)?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(7));
+    let examples = join_examples(&f, profile, &mut rng, 40)?;
+    for ex in &examples {
+        let got = apply_join(&pruned, &pruned_vocab, &pruned_join, &ex.left, &ex.right)?;
+        if got != ex.whole {
+            return Err(LangError::eval(
+                "pruning broke the join (an auxiliary was live after all)",
+            ));
+        }
+    }
+    // Sanity: the pruned program still analyzes cleanly.
+    let _ = analyze(&pruned);
+    Ok((pruned, pruned_join, pruned_vocab, kept))
+}
+
+fn mark_live(stmt: &Stmt, var_of: &dyn Fn(Sym) -> Option<Sym>, live: &mut BTreeSet<Sym>) {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            let target_var = var_of(target.base).unwrap_or(target.base);
+            if live.contains(&target_var) {
+                for v in value.vars() {
+                    if let Some(sv) = var_of(v) {
+                        live.insert(sv);
+                    }
+                }
+                for idx in &target.indices {
+                    for v in idx.vars() {
+                        if let Some(sv) = var_of(v) {
+                            live.insert(sv);
+                        }
+                    }
+                }
+            }
+        }
+        Stmt::Let { init, .. } => {
+            for v in init.vars() {
+                if let Some(sv) = var_of(v) {
+                    live.insert(sv);
+                }
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            for v in cond.vars() {
+                if let Some(sv) = var_of(v) {
+                    live.insert(sv);
+                }
+            }
+            for s in then_branch.iter().chain(else_branch) {
+                mark_live(s, var_of, live);
+            }
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                mark_live(s, var_of, live);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::interp::run_program;
+    use parsynt_lang::{parse, Value};
+
+    #[test]
+    fn mbs_1d_lifts_with_sum_and_joins() {
+        // max bottom strip (1-D Kadane suffix): needs aux_sum; the join
+        // is m = max(m_r, m_l + sum_r).
+        let p = parse(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }\n\
+             return m;",
+        )
+        .unwrap();
+        let out = homomorphism_lift(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+        let HomLiftOutcome::Success {
+            program,
+            join,
+            vocab,
+            aux,
+            rounds,
+            ..
+        } = out
+        else {
+            panic!("mbs must lift");
+        };
+        assert_eq!(rounds, 1, "one discovery round should suffice");
+        assert_eq!(aux.len(), 1, "exactly the sum accumulator: {aux:?}");
+        // End-to-end: join(h(x), h(y)) == h(x•y) on a fixed input.
+        let f = RightwardFn::new(&program).unwrap();
+        let input = Value::seq_of_ints(&[3, -5, 4, -1, 2, -7, 6]);
+        let whole = f.apply(std::slice::from_ref(&input)).unwrap();
+        let l = f.apply_slice(std::slice::from_ref(&input), 0, 3).unwrap();
+        let r = f.apply_slice(&[input], 3, 7).unwrap();
+        let joined = apply_join(&program, &vocab, &join, &l, &r).unwrap();
+        assert_eq!(joined, whole);
+    }
+
+    #[test]
+    fn already_homomorphic_sum_needs_no_lift() {
+        let p = parse(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + a[i]; } return s;",
+        )
+        .unwrap();
+        let out = homomorphism_lift(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+        let HomLiftOutcome::Success { aux, rounds, .. } = out else {
+            panic!("sum joins directly");
+        };
+        assert_eq!(rounds, 0);
+        assert!(aux.is_empty());
+    }
+
+    #[test]
+    fn pruning_keeps_program_semantics() {
+        let p = parse(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }\n\
+             return m;",
+        )
+        .unwrap();
+        let out = homomorphism_lift(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+        let HomLiftOutcome::Success { program, .. } = out else {
+            panic!()
+        };
+        let input = Value::seq_of_ints(&[1, -2, 3, 4, -1]);
+        let a = run_program(&p, std::slice::from_ref(&input)).unwrap();
+        let b = run_program(&program, &[input]).unwrap();
+        assert_eq!(a.scalar_named(&p, "m"), b.scalar_named(&program, "m"));
+    }
+}

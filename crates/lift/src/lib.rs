@@ -1,0 +1,32 @@
+//! # parsynt-lift
+//!
+//! Automatic lifting (§5 and §8 of *Modular Divide-and-Conquer
+//! Parallelization of Nested Loops*): when a loop nest is not memoryless
+//! (no merge `⊚` exists) or its summarized form is not a homomorphism
+//! (no join `⊙` exists), the program must be *lifted* — extended with
+//! auxiliary computation — until the operators exist.
+//!
+//! * [`augment`] — program-transformation utilities (declaring auxiliary
+//!   state, inserting accumulator updates, renaming).
+//! * [`memoryless`] — the memoryless lift and the memoryless-normal-form
+//!   transformation (Figure 4's rewrite of balanced parentheses), module
+//!   (IV) of Figure 7.
+//! * [`discovery`] — normalization-driven auxiliary discovery: unfold
+//!   the summarized loop symbolically, rewrite to (constant or
+//!   ⊳-recursive) normal form, extract the input-only subexpressions,
+//!   and recover their recursive computation (§8.1–8.2).
+//! * [`homomorphism`] — the homomorphism lift, module (III): iterate
+//!   discovery + a catalog of standard accumulators, re-running join
+//!   synthesis, then prune auxiliaries the final join does not use.
+//! * [`trivial`] — the always-admissible lifts of Props. 5.2 and 5.4
+//!   (remember the whole input / the last line), as executable
+//!   constructions.
+
+pub mod augment;
+pub mod discovery;
+pub mod homomorphism;
+pub mod memoryless;
+pub mod trivial;
+
+pub use homomorphism::{homomorphism_lift, HomLiftOutcome};
+pub use memoryless::{memoryless_lift, memoryless_transform, MemorylessOutcome};

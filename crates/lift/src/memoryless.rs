@@ -1,0 +1,474 @@
+//! The memoryless lift (module IV of Figure 7, §5.2–5.3) and the
+//! memoryless-normal-form transformation.
+//!
+//! A loop nest is memoryless when every instance of its inner loop nest
+//! computes the same function from the fixed initial state `0̸`
+//! (Definition 4.2). When it is not, we
+//!
+//! 1. try to synthesize the merge `⊚` directly (Prop. 7.2 reduces this
+//!    to join synthesis);
+//! 2. on failure, *lift*: add auxiliary inner accumulators (running
+//!    min/max of the existing inner scalars — the shape the normal-form
+//!    analysis of §8 produces for threshold guards like balanced
+//!    parentheses) and retry;
+//! 3. once a merge exists, rewrite the program into *memoryless normal
+//!    form*: the inner nest runs from `0̸` into fresh locals, and the
+//!    merge folds the result into the outer state (Figure 4).
+
+use crate::augment::{assigns_to, insert_after_assignments, substitute_stmt};
+use parsynt_lang::ast::{Expr, LValue, Program, Stmt, Sym};
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_lang::interp::run_program;
+use parsynt_lang::{Ty, Value};
+use parsynt_synth::examples::{random_inputs, InputProfile};
+use parsynt_synth::merge::{synthesize_merge, MergeVocab, SynthesizedMerge};
+use parsynt_synth::report::SynthConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Result of the memoryless phase of the pipeline.
+#[derive(Debug, Clone)]
+pub struct MemorylessOutcome {
+    /// The memoryless program (transformed when a merge was needed).
+    pub program: Program,
+    /// Names of auxiliary inner accumulators added by the lift.
+    pub aux_added: Vec<String>,
+    /// Total time spent in merge synthesis (the paper's
+    /// "summarization time" column of Table 1).
+    pub summarization_time: Duration,
+    /// Whether the loop was already (syntactically) memoryless.
+    pub already_memoryless: bool,
+    /// Whether the memoryless lift failed and the *default* lift of
+    /// Prop. 5.4 would be required (the inner nest stays sequential).
+    pub failed: bool,
+}
+
+/// Run the memoryless phase on `program`.
+///
+/// # Errors
+///
+/// Propagates interpreter errors from example generation or the
+/// correctness cross-check of the transformation.
+pub fn memoryless_lift(
+    program: &Program,
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<MemorylessOutcome> {
+    let analysis = parsynt_lang::analysis::analyze(program);
+    if analysis.is_syntactically_memoryless() {
+        return Ok(MemorylessOutcome {
+            program: program.clone(),
+            aux_added: Vec::new(),
+            summarization_time: Duration::ZERO,
+            already_memoryless: true,
+            failed: false,
+        });
+    }
+
+    let mut total = Duration::ZERO;
+    let mut aux_added: Vec<String> = Vec::new();
+
+    // Round 0: direct merge synthesis on the original program.
+    let mut attempt = program.clone();
+    let (result, vocab) = synthesize_merge(&mut attempt, profile, cfg)?;
+    total += result.elapsed;
+    if let Some(merge) = result.merge {
+        let transformed = memoryless_transform(&attempt, &vocab, &merge)?;
+        cross_check(program, &transformed, profile, cfg)?;
+        return Ok(MemorylessOutcome {
+            program: transformed,
+            aux_added,
+            summarization_time: total,
+            already_memoryless: false,
+            failed: false,
+        });
+    }
+
+    // Lift rounds: add running min/max accumulators over inner scalar
+    // accumulators, one batch at a time, and retry.
+    for batch in [AuxBatch::Min, AuxBatch::Max, AuxBatch::MinAndMax] {
+        let mut lifted = program.clone();
+        let added = add_inner_extrema(&mut lifted, batch)?;
+        if added.is_empty() {
+            continue;
+        }
+        let mut attempt = lifted.clone();
+        let (result, vocab) = synthesize_merge(&mut attempt, profile, cfg)?;
+        total += result.elapsed;
+        if let Some(merge) = result.merge {
+            aux_added = added;
+            let transformed = memoryless_transform(&attempt, &vocab, &merge)?;
+            cross_check(program, &transformed, profile, cfg)?;
+            return Ok(MemorylessOutcome {
+                program: transformed,
+                aux_added,
+                summarization_time: total,
+                already_memoryless: false,
+                failed: false,
+            });
+        }
+    }
+
+    // All lifts failed: fall back to the default memoryless lift of
+    // Prop. 5.4 (remember the last row; practically: the loop nest stays
+    // as-is and only coarser parallelism is available).
+    Ok(MemorylessOutcome {
+        program: program.clone(),
+        aux_added: Vec::new(),
+        summarization_time: total,
+        already_memoryless: false,
+        failed: true,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AuxBatch {
+    Min,
+    Max,
+    MinAndMax,
+}
+
+/// Add running-extremum accumulators for every scalar integer inner
+/// accumulator updated inside the inner loop nest. Returns the names of
+/// the accumulators added.
+fn add_inner_extrema(program: &mut Program, batch: AuxBatch) -> Result<Vec<String>> {
+    let inner_vars: Vec<(Sym, Ty)> = {
+        let f = RightwardFn::new(program)?;
+        f.inner_vars().to_vec()
+    };
+    let mut added = Vec::new();
+    let pos = program
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::For { .. }))
+        .ok_or_else(|| LangError::ty("program has no outer loop"))?;
+    for (sym, ty) in inner_vars {
+        if ty != Ty::Int {
+            continue;
+        }
+        // Only lift accumulators that the inner *loops* update (a let
+        // updated only outside loops carries no per-element history).
+        let Stmt::For { body, .. } = &program.body[pos] else {
+            unreachable!()
+        };
+        let updated_in_loop = body.iter().any(|s| {
+            matches!(s, Stmt::For { .. }) && {
+                let mut found = false;
+                s.walk(&mut |st| {
+                    if let Stmt::Assign { target, .. } = st {
+                        if target.base == sym {
+                            found = true;
+                        }
+                    }
+                });
+                found
+            }
+        });
+        if !updated_in_loop {
+            continue;
+        }
+        let name = program.name(sym).to_owned();
+        let mut ops: Vec<(&str, parsynt_lang::ast::BinOp)> = Vec::new();
+        if matches!(batch, AuxBatch::Min | AuxBatch::MinAndMax) {
+            ops.push(("min", parsynt_lang::ast::BinOp::Min));
+        }
+        if matches!(batch, AuxBatch::Max | AuxBatch::MinAndMax) {
+            ops.push(("max", parsynt_lang::ast::BinOp::Max));
+        }
+        for (tag, op) in ops {
+            let aux = program.interner.fresh(&format!("{name}_{tag}"));
+            let Stmt::For { body, .. } = &mut program.body[pos] else {
+                unreachable!()
+            };
+            // Declare next to the tracked accumulator, then update after
+            // each of its assignments.
+            let decl_pos = body
+                .iter()
+                .position(|s| matches!(s, Stmt::Let { name: n, .. } if *n == sym))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            body.insert(
+                decl_pos,
+                Stmt::Let {
+                    name: aux,
+                    ty: Ty::Int,
+                    init: Expr::int(0),
+                },
+            );
+            let inserted = insert_after_assignments(body, sym, &|_| Stmt::Assign {
+                target: LValue::var(aux),
+                value: Expr::bin(op, Expr::var(aux), Expr::var(sym)),
+            });
+            if inserted == 0 {
+                // Nothing to track; undo the declaration.
+                let Stmt::For { body, .. } = &mut program.body[pos] else {
+                    unreachable!()
+                };
+                body.remove(decl_pos);
+                continue;
+            }
+            added.push(program.name(aux).to_owned());
+        }
+    }
+    Ok(added)
+}
+
+/// Rewrite a program (with a synthesized merge) into memoryless normal
+/// form:
+///
+/// ```text
+/// for i in 0..n {
+///   <inner phase from 0̸ into fresh locals>   // the parallel map
+///   <snapshots of old state>                  // w__d = w
+///   <merge ⊚ statements>                      // sequential combine
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Fails if the program has no outer loop.
+pub fn memoryless_transform(
+    program: &Program,
+    vocab: &MergeVocab,
+    merge: &SynthesizedMerge,
+) -> Result<Program> {
+    let mut out = program.clone();
+    let (inner_phase, loop_var, bound) = {
+        let f = RightwardFn::new(program)?;
+        let Some((_, Stmt::For { var, bound, .. }, _)) = program.outer_loop() else {
+            return Err(LangError::ty("program has no outer loop"));
+        };
+        (f.inner_phase().to_vec(), *var, bound.clone())
+    };
+
+    // 1. Zero-variant inner phase: state variables written inside the
+    //    inner phase are redirected into fresh locals initialized from
+    //    the declared initial state; state variables merely *read* are
+    //    replaced by their initial value (the `0 + line_offset` of
+    //    Figure 4).
+    let mut new_body: Vec<Stmt> = Vec::new();
+    let mut zero_phase = inner_phase.clone();
+    for decl in &program.state {
+        let written = assigns_to(&inner_phase, decl.name);
+        if written {
+            // Redirect to the `__t` local from the merge vocabulary.
+            let t_sym = vocab
+                .inner
+                .iter()
+                .find(|iv| iv.orig == decl.name)
+                .map(|iv| iv.t)
+                .ok_or_else(|| LangError::ty("missing merge slot for written state"))?;
+            zero_phase = zero_phase
+                .iter()
+                .map(|s| substitute_stmt(s, decl.name, &Expr::var(t_sym)))
+                .collect();
+            new_body.push(Stmt::Let {
+                name: t_sym,
+                ty: decl.ty.clone(),
+                init: decl.init.clone(),
+            });
+        } else if inner_phase.iter().any(|s| {
+            let mut reads = false;
+            s.walk(&mut |st| {
+                let mentions = match st {
+                    Stmt::Let { init, .. } => init.mentions(decl.name),
+                    Stmt::Assign { target, value } => {
+                        value.mentions(decl.name)
+                            || target.indices.iter().any(|e| e.mentions(decl.name))
+                    }
+                    Stmt::If { cond, .. } => cond.mentions(decl.name),
+                    Stmt::For { bound, .. } => bound.mentions(decl.name),
+                };
+                reads |= mentions;
+            });
+            reads
+        }) {
+            zero_phase = zero_phase
+                .iter()
+                .map(|s| substitute_stmt(s, decl.name, &decl.init))
+                .collect();
+        }
+    }
+    new_body.extend(zero_phase);
+    let inner_phase_end = new_body.len();
+
+    // 2. Rename `__t` slots of plain inner accumulators (lets) back to
+    //    the original local names in the merge statements, and snapshot
+    //    old state for the `__d` symbols the merge reads.
+    let mut merge_stmts = merge.stmts.clone();
+    for iv in &vocab.inner {
+        if !program.is_state(iv.orig) {
+            merge_stmts = merge_stmts
+                .iter()
+                .map(|s| substitute_stmt(s, iv.t, &Expr::var(iv.orig)))
+                .collect();
+        }
+    }
+    for v in &vocab.vars {
+        let used = merge_stmts.iter().any(|s| {
+            let mut found = false;
+            s.walk(&mut |st| match st {
+                Stmt::Let { init, .. } => found |= init.mentions(v.old),
+                Stmt::Assign { target, value } => {
+                    found |=
+                        value.mentions(v.old) || target.indices.iter().any(|e| e.mentions(v.old));
+                }
+                Stmt::If { cond, .. } => found |= cond.mentions(v.old),
+                Stmt::For { bound, .. } => found |= bound.mentions(v.old),
+            });
+            found
+        });
+        if used {
+            new_body.push(Stmt::Let {
+                name: v.old,
+                ty: v.ty.clone(),
+                init: Expr::var(v.sym),
+            });
+        }
+    }
+    new_body.extend(merge_stmts);
+
+    // 3. Install the new outer body, recording where the sequential
+    //    combine begins so analysis treats the merge loop as the outer
+    //    phase rather than an inner nest.
+    let pos = out
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::For { .. }))
+        .ok_or_else(|| LangError::ty("program has no outer loop"))?;
+    out.body[pos] = Stmt::For {
+        var: loop_var,
+        bound,
+        body: new_body,
+    };
+    out.summarize_split = Some(inner_phase_end);
+    Ok(out)
+}
+
+/// Cross-check that a transformed program is observationally equal to
+/// the original on random inputs (a guard against unsound merges that
+/// slipped past bounded verification).
+fn cross_check(
+    original: &Program,
+    transformed: &Program,
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<()> {
+    let f = RightwardFn::new(original)?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(99));
+    for _ in 0..40 {
+        let inputs: Vec<Value> = random_inputs(&f, profile, &mut rng);
+        let a = run_program(original, &inputs)?.project_returns(original);
+        let b = run_program(transformed, &inputs)?.project_returns(original);
+        if a != b {
+            return Err(LangError::eval(
+                "memoryless transformation changed program semantics",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::analysis::analyze;
+    use parsynt_lang::parse;
+
+    const BP_SRC: &str = "input a : seq<seq<int>>;\n\
+        state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
+        for i in 0 .. len(a) {\n\
+          let lo : int = 0;\n\
+          for j in 0 .. len(a[i]) {\n\
+            lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+            if (offset + lo < 0) { bal = false; }\n\
+          }\n\
+          offset = offset + lo;\n\
+          if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+        }\n\
+        return cnt;";
+
+    #[test]
+    fn already_memoryless_is_identity() {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let row : int = 0;\n\
+               for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+               s = max(s + row, 0);\n\
+             }",
+        )
+        .unwrap();
+        let out = memoryless_lift(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+        assert!(out.already_memoryless);
+        assert!(out.aux_added.is_empty());
+        assert_eq!(out.program, p);
+    }
+
+    #[test]
+    fn balanced_parentheses_lifts_with_min_accumulator() {
+        // The paper's flagship memoryless lift (§2.1 / Figure 4): the
+        // minimum of line_offset must be tracked to recover `bal`.
+        let p = parse(BP_SRC).unwrap();
+        let profile = InputProfile::default().with_choices(&[-1, 1]);
+        let out = memoryless_lift(&p, &profile, &SynthConfig::default()).unwrap();
+        assert!(!out.failed, "bp must lift");
+        assert!(!out.already_memoryless);
+        assert_eq!(
+            out.aux_added.len(),
+            1,
+            "exactly the min accumulator: {:?}",
+            out.aux_added
+        );
+        assert!(out.aux_added[0].contains("min"));
+        // The transformed program is memoryless.
+        let analysis = analyze(&out.program);
+        assert!(
+            analysis.is_syntactically_memoryless(),
+            "transformed bp must be memoryless:\n{}",
+            parsynt_lang::pretty::program_to_string(&out.program)
+        );
+    }
+
+    #[test]
+    fn transformed_bp_agrees_with_original_on_brackets() {
+        let p = parse(BP_SRC).unwrap();
+        let profile = InputProfile::default().with_choices(&[-1, 1]);
+        let out = memoryless_lift(&p, &profile, &SynthConfig::default()).unwrap();
+        // "(()" then ")" per row: rows = [[1,1,-1],[-1]] — balanced at end?
+        // offset: row0 -> +1, row1 -> 0; prefix dips? never below 0.
+        let input = Value::seq2_of_ints(&[vec![1, 1, -1], vec![-1]]);
+        let a = run_program(&p, std::slice::from_ref(&input)).unwrap();
+        let b = run_program(&out.program, &[input]).unwrap();
+        assert_eq!(
+            a.scalar_named(&p, "cnt"),
+            b.scalar_named(&out.program, "cnt")
+        );
+    }
+
+    #[test]
+    fn mtls_transforms_to_figure_5b_shape() {
+        let p = parse(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             state mtl : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; mtl = max(mtl, rec[j]); } }\n\
+             return mtl;",
+        )
+        .unwrap();
+        let out = memoryless_lift(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+        assert!(!out.failed);
+        let analysis = analyze(&out.program);
+        assert!(analysis.is_syntactically_memoryless());
+        // Spot-check the semantics.
+        let input = Value::seq2_of_ints(&[vec![2, -1], vec![-1, 3]]);
+        let a = run_program(&p, std::slice::from_ref(&input)).unwrap();
+        let b = run_program(&out.program, &[input]).unwrap();
+        assert_eq!(
+            a.scalar_named(&p, "mtl"),
+            b.scalar_named(&out.program, "mtl")
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The *trivial* (always-admissible) lifts of §5: Prop. 5.2's
+//! homomorphism lift `f × ι` (remember the whole input) and Prop. 5.4's
+//! default memoryless lift `f × ι′` (remember the last line).
+//!
+//! Neither yields real parallelism — the paper introduces them to prove
+//! every function *can* be lifted, setting up the efficiency budget of
+//! §6 that the algorithmic lifts must beat. They are implemented here as
+//! executable constructions so the theory is testable: the trivial join
+//! literally re-runs the loop over the remembered input.
+
+use parsynt_lang::ast::Program;
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_lang::interp::{run_program, run_program_from, StateVec};
+use parsynt_lang::Value;
+
+/// The Prop. 5.2 lift of a program: the lifted state is
+/// `(D, S^n)` — the computed state *plus the entire input seen so far*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriviallyLifted {
+    /// The original state component.
+    pub state: StateVec,
+    /// The remembered input (the `ι` component).
+    pub input: Value,
+}
+
+/// Run a program on `input`, producing the trivially lifted result.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn apply_trivial(program: &Program, input: &Value) -> Result<TriviallyLifted> {
+    let state = run_program(program, std::slice::from_ref(input))?;
+    Ok(TriviallyLifted {
+        state,
+        input: input.clone(),
+    })
+}
+
+/// The Prop. 5.2 join: `⊙` ignores the left partial result and re-runs
+/// the loop over the concatenated inputs from scratch — associative by
+/// construction, but "analogous to a sequential computation".
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn trivial_join(
+    program: &Program,
+    left: &TriviallyLifted,
+    right: &TriviallyLifted,
+) -> Result<TriviallyLifted> {
+    let input = left.input.concat(&right.input);
+    // Re-running only the right part from the left state is the small
+    // optimization the construction permits (the left state is a valid
+    // prefix summary by the rightward property).
+    let state = run_program_from(program, std::slice::from_ref(&right.input), &left.state)?;
+    Ok(TriviallyLifted { state, input })
+}
+
+/// The Prop. 5.4 default memoryless lift: the merge `⊚` re-processes the
+/// remembered last line `δ` from the current state — no inner-loop
+/// parallelism is gained, but the construction always exists and
+/// preserves the time complexity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefaultMemoryless {
+    /// The computed state.
+    pub state: StateVec,
+    /// The remembered last line (`ι′(σ • [δ]) = δ`).
+    pub last_line: Option<Value>,
+}
+
+/// Fold one row with the default memoryless lift: remember `δ` and
+/// replay the full outer step sequentially.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn default_memoryless_step(
+    f: &RightwardFn<'_>,
+    inputs: &[Value],
+    i: usize,
+    acc: &DefaultMemoryless,
+) -> Result<DefaultMemoryless> {
+    let state = f.outer_step(inputs, i, &acc.state)?;
+    let main = inputs
+        .get(f.main_input())
+        .and_then(|v| v.as_seq())
+        .ok_or_else(|| LangError::eval("missing main input"))?;
+    let last_line = main.get(i).cloned();
+    Ok(DefaultMemoryless { state, last_line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::interp::{init_env, read_state};
+    use parsynt_lang::parse;
+
+    /// mbbs: not a homomorphism, yet the trivial lift joins correctly.
+    #[test]
+    fn trivial_lift_makes_mbbs_joinable() {
+        let p = parse(
+            "input a : seq<seq<int>>; state m : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let row : int = 0;\n\
+               for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+               m = max(m + row, 0);\n\
+             }",
+        )
+        .unwrap();
+        // The introduction's counterexample pair: same h(b'), different
+        // h(b • b') — the trivial lift distinguishes them via ι.
+        let b = Value::seq2_of_ints(&[vec![5]]);
+        let b1 = Value::seq2_of_ints(&[vec![-3], vec![3]]);
+        let b2 = Value::seq2_of_ints(&[vec![0], vec![3]]);
+        let hb = apply_trivial(&p, &b).unwrap();
+        let h1 = apply_trivial(&p, &b1).unwrap();
+        let h2 = apply_trivial(&p, &b2).unwrap();
+        assert_eq!(h1.state, h2.state, "mbbs(b') agrees — the paper's setup");
+        let j1 = trivial_join(&p, &hb, &h1).unwrap();
+        let j2 = trivial_join(&p, &hb, &h2).unwrap();
+        assert_ne!(j1.state, j2.state, "the lifted join distinguishes them");
+        // And each equals the from-scratch run on the concatenation.
+        let whole1 = apply_trivial(&p, &b.concat(&b1)).unwrap();
+        assert_eq!(j1.state, whole1.state);
+        assert_eq!(j1.input, whole1.input);
+    }
+
+    #[test]
+    fn trivial_join_is_associative_on_samples() {
+        let p = parse(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }",
+        )
+        .unwrap();
+        let x = apply_trivial(&p, &Value::seq_of_ints(&[3, -2])).unwrap();
+        let y = apply_trivial(&p, &Value::seq_of_ints(&[5])).unwrap();
+        let z = apply_trivial(&p, &Value::seq_of_ints(&[-1, 4])).unwrap();
+        let left_first = trivial_join(&p, &trivial_join(&p, &x, &y).unwrap(), &z).unwrap();
+        let right_first = trivial_join(&p, &x, &trivial_join(&p, &y, &z).unwrap()).unwrap();
+        assert_eq!(left_first, right_first);
+    }
+
+    #[test]
+    fn default_memoryless_fold_replays_the_loop() {
+        let p = parse(
+            "input a : seq<seq<int>>;\n\
+             state offset : int = 0; state bal : bool = true;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               for j in 0 .. len(a[i]) {\n\
+                 lo = lo + a[i][j];\n\
+                 if (offset + lo < 0) { bal = false; }\n\
+               }\n\
+               offset = offset + lo;\n\
+             }",
+        )
+        .unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let input = Value::seq2_of_ints(&[vec![1, 1], vec![-3], vec![2]]);
+        let inputs = vec![input.clone()];
+        let env = init_env(&p, &inputs).unwrap();
+        let mut acc = DefaultMemoryless {
+            state: read_state(&p, &env).unwrap(),
+            last_line: None,
+        };
+        for i in 0..3 {
+            acc = default_memoryless_step(&f, &inputs, i, &acc).unwrap();
+        }
+        let whole = run_program(&p, &inputs).unwrap();
+        assert_eq!(acc.state, whole);
+        // ι′ remembers exactly the last line.
+        assert_eq!(acc.last_line, Some(Value::seq_of_ints(&[2])));
+    }
+}

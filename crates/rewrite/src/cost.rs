@@ -1,0 +1,227 @@
+//! Cost functions driving the two normalization phases (§8.2).
+
+use crate::normal_form::{flatten, is_constant_nf};
+use parsynt_lang::ast::{BinOp, Expr, Sym};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A cost function over expressions; the normalizer searches for an
+/// expression minimizing it.
+pub trait Cost {
+    /// The (totally ordered) cost value.
+    type Val: Ord + Clone + std::fmt::Debug;
+    /// Compute the cost of `e`.
+    fn cost(&self, e: &Expr) -> Self::Val;
+}
+
+/// Phase-1 cost, identical to the cost of \[11\]: drive the *state*
+/// variables of the summarized loop to the lowest possible depth and the
+/// fewest occurrences. Lexicographic `(Σ depth of state occurrences,
+/// #state occurrences, expression size)`.
+#[derive(Clone)]
+pub struct Phase1Cost {
+    is_state: Arc<dyn Fn(Sym) -> bool + Send + Sync>,
+}
+
+impl Phase1Cost {
+    /// Build from a state-variable predicate.
+    pub fn new(is_state: impl Fn(Sym) -> bool + Send + Sync + 'static) -> Self {
+        Phase1Cost {
+            is_state: Arc::new(is_state),
+        }
+    }
+}
+
+impl Cost for Phase1Cost {
+    type Val = (usize, usize, usize);
+
+    fn cost(&self, e: &Expr) -> Self::Val {
+        let mut sum_depth = 0usize;
+        let mut occurrences = 0usize;
+        fn visit(
+            e: &Expr,
+            depth: usize,
+            is_state: &dyn Fn(Sym) -> bool,
+            sum_depth: &mut usize,
+            occurrences: &mut usize,
+        ) {
+            match e {
+                Expr::Var(s) if is_state(*s) => {
+                    *sum_depth += depth;
+                    *occurrences += 1;
+                }
+                Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => {}
+                Expr::Len(a) | Expr::Zeros(a) | Expr::Unary(_, a) => {
+                    visit(a, depth + 1, is_state, sum_depth, occurrences)
+                }
+                Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+                    visit(a, depth + 1, is_state, sum_depth, occurrences);
+                    visit(b, depth + 1, is_state, sum_depth, occurrences);
+                }
+                Expr::Ite(c, t, e2) => {
+                    visit(c, depth + 1, is_state, sum_depth, occurrences);
+                    visit(t, depth + 1, is_state, sum_depth, occurrences);
+                    visit(e2, depth + 1, is_state, sum_depth, occurrences);
+                }
+            }
+        }
+        visit(
+            e,
+            1,
+            self.is_state.as_ref(),
+            &mut sum_depth,
+            &mut occurrences,
+        );
+        (sum_depth, occurrences, e.size())
+    }
+}
+
+/// The phase-2 cost value `Cost⊳(e) = (size, c⊳)` of Definition 8.4.
+///
+/// Ordering implements the paper's rule-application policy: smaller
+/// non-normal `size` always wins; at `size == 0` (a full ⊳-recursive
+/// normal form) *fewer* constant-normal-form chunks win; while `size > 0`
+/// *more* chunks is progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecCostVal {
+    /// Total size of subexpressions *not* in constant normal form.
+    pub size: usize,
+    /// Count of subexpressions in constant normal form.
+    pub chunks: usize,
+}
+
+impl Ord for RecCostVal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.size.cmp(&other.size) {
+            Ordering::Equal if self.size == 0 => self.chunks.cmp(&other.chunks),
+            Ordering::Equal => other.chunks.cmp(&self.chunks),
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for RecCostVal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Phase-2 cost `Cost⊳` relative to a guessed recursion operator `⊳`
+/// (Definition 8.4).
+#[derive(Clone)]
+pub struct RecursiveCost {
+    op: BinOp,
+    max_skeleton: usize,
+    is_state: Arc<dyn Fn(Sym) -> bool + Send + Sync>,
+}
+
+impl RecursiveCost {
+    /// Build for recursion operator `op`; `max_skeleton` bounds what
+    /// counts as a *constant* normal form chunk.
+    pub fn new(
+        op: BinOp,
+        max_skeleton: usize,
+        is_state: impl Fn(Sym) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        RecursiveCost {
+            op,
+            max_skeleton,
+            is_state: Arc::new(is_state),
+        }
+    }
+
+    /// The recursion operator this cost is relative to.
+    pub fn op(&self) -> BinOp {
+        self.op
+    }
+}
+
+impl Cost for RecursiveCost {
+    type Val = RecCostVal;
+
+    fn cost(&self, e: &Expr) -> Self::Val {
+        let mut chunks_vec = Vec::new();
+        flatten(e, self.op, &mut chunks_vec);
+        let mut size = 0usize;
+        let mut chunks = 0usize;
+        for chunk in chunks_vec {
+            if is_constant_nf(chunk, self.is_state.as_ref(), self.max_skeleton) {
+                chunks += 1;
+            } else {
+                size += chunk.size();
+            }
+        }
+        RecCostVal { size, chunks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::Interner;
+
+    fn exprs() -> (Sym, Expr, Expr, Expr) {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        (
+            s,
+            Expr::var(s),
+            Expr::var(i.intern("a1")),
+            Expr::var(i.intern("a2")),
+        )
+    }
+
+    #[test]
+    fn phase1_prefers_shallow_state() {
+        let (s_sym, s, a1, a2) = exprs();
+        let cost = Phase1Cost::new(move |x| x == s_sym);
+        // max(max(s + a1, 0) + a2, 0): s at depth 5.
+        let deep = Expr::max(
+            Expr::add(
+                Expr::max(Expr::add(s.clone(), a1.clone()), Expr::int(0)),
+                a2.clone(),
+            ),
+            Expr::int(0),
+        );
+        // max(s + (a1 + a2), max(a2, 0)): s at depth 3.
+        let shallow = Expr::max(
+            Expr::add(s.clone(), Expr::add(a1, a2.clone())),
+            Expr::max(a2, Expr::int(0)),
+        );
+        assert!(cost.cost(&shallow) < cost.cost(&deep));
+    }
+
+    #[test]
+    fn rec_cost_zero_size_for_normal_form() {
+        let (s_sym, s, a1, a2) = exprs();
+        let cost = RecursiveCost::new(BinOp::Max, 2, move |x| x == s_sym);
+        let nf = Expr::max(
+            Expr::add(s, Expr::add(a1, a2.clone())),
+            Expr::max(a2, Expr::int(0)),
+        );
+        let v = cost.cost(&nf);
+        assert_eq!(v.size, 0);
+        assert_eq!(v.chunks, 3);
+    }
+
+    #[test]
+    fn rec_cost_ordering_follows_paper_policy() {
+        // size dominates
+        assert!(RecCostVal { size: 1, chunks: 5 } < RecCostVal { size: 2, chunks: 0 });
+        // at equal positive size, more chunks is better (smaller cost)
+        assert!(RecCostVal { size: 2, chunks: 3 } < RecCostVal { size: 2, chunks: 1 });
+        // at size 0, fewer chunks is better
+        assert!(RecCostVal { size: 0, chunks: 2 } < RecCostVal { size: 0, chunks: 4 });
+    }
+
+    #[test]
+    fn rec_cost_counts_non_normal_size() {
+        let (s_sym, s, a1, _) = exprs();
+        let cost = RecursiveCost::new(BinOp::Max, 0, move |x| x == s_sym);
+        // skeleton bound 0 means the mixed chunk s + a1 is non-normal.
+        let e = Expr::max(Expr::add(s, a1), Expr::int(0));
+        let v = cost.cost(&e);
+        assert_eq!(v.size, 3);
+        assert_eq!(v.chunks, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # parsynt-rewrite
+//!
+//! The term-rewriting substrate behind ParSynt's automatic lifting (§8 of
+//! *Modular Divide-and-Conquer Parallelization of Nested Loops*).
+//!
+//! Lifting reduces to **normalization**: the sequential unfolding of the
+//! summarized loop (the left-hand side of Equation 3) is rewritten, using
+//! standard algebraic identities, into a *constant normal form* or a
+//! *⊳-recursive normal form* (Definition 8.3). The input-only
+//! subexpressions of the normal form are exactly the auxiliary values the
+//! parallel join needs.
+//!
+//! The crate provides:
+//!
+//! * [`rules`] — the rewrite-rule set `R` (distributivity, factoring,
+//!   associativity/commutativity, identities, constant folding);
+//! * [`cost`] — the phase-1 cost (state-variable occurrences/depth, from
+//!   \[11\]) and the phase-2 cost `Cost⊳` (Definition 8.4);
+//! * [`normalize`](mod@normalize) — cost-guided best-first normalization
+//!   (two phases);
+//! * [`normal_form`] — detection of constant and ⊳-recursive normal
+//!   forms;
+//! * [`symbolic`] — symbolic execution of loop bodies used to build the
+//!   sequential unfolding that normalization operates on.
+
+pub mod cost;
+pub mod normal_form;
+pub mod normalize;
+pub mod rules;
+pub mod symbolic;
+
+pub use cost::{Cost, Phase1Cost, RecursiveCost};
+pub use normal_form::{classify, is_constant_nf, recursive_nf, Purity};
+pub use normalize::{normalize, NormalizeOutcome, Normalizer};
+pub use rules::{all_rules, constant_fold, Rule};

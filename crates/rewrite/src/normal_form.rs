@@ -1,0 +1,245 @@
+//! Detection of constant and ⊳-recursive normal forms (Definition 8.3).
+
+use parsynt_lang::ast::{BinOp, Expr, Sym};
+
+/// Variable purity of a subexpression with respect to the state/input
+/// partition of the enclosing loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Purity {
+    /// No variables at all.
+    Constant,
+    /// Only state variables (`exp_s` in the paper's normal form).
+    StateOnly,
+    /// Only input variables (`exp_i` — these become the auxiliary
+    /// accumulators).
+    InputOnly,
+    /// Mixes state and input variables.
+    Mixed,
+}
+
+impl Purity {
+    fn join(self, other: Purity) -> Purity {
+        use Purity::*;
+        match (self, other) {
+            (Constant, x) | (x, Constant) => x,
+            (StateOnly, StateOnly) => StateOnly,
+            (InputOnly, InputOnly) => InputOnly,
+            _ => Mixed,
+        }
+    }
+}
+
+/// Classify an expression's variables: does it mention only state
+/// variables, only input variables, both, or none?
+pub fn classify(e: &Expr, is_state: &dyn Fn(Sym) -> bool) -> Purity {
+    let mut purity = Purity::Constant;
+    e.walk(&mut |sub| {
+        if let Expr::Var(s) = sub {
+            let p = if is_state(*s) {
+                Purity::StateOnly
+            } else {
+                Purity::InputOnly
+            };
+            purity = purity.join(p);
+        }
+    });
+    purity
+}
+
+/// The skeleton size of `e`: the number of nodes remaining after every
+/// maximal *pure* subtree (state-only, input-only, or constant) is
+/// collapsed into a single leaf.
+pub fn skeleton_size(e: &Expr, is_state: &dyn Fn(Sym) -> bool) -> usize {
+    if classify(e, is_state) != Purity::Mixed {
+        return 0;
+    }
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => 0,
+        Expr::Len(a) | Expr::Zeros(a) | Expr::Unary(_, a) => 1 + skeleton_size(a, is_state),
+        Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+            1 + skeleton_size(a, is_state) + skeleton_size(b, is_state)
+        }
+        Expr::Ite(c, t, e2) => {
+            1 + skeleton_size(c, is_state)
+                + skeleton_size(t, is_state)
+                + skeleton_size(e2, is_state)
+        }
+    }
+}
+
+/// Whether `e` is in *constant normal form*: a constant-size operator
+/// skeleton `⊛` whose leaves are pure state-only or input-only
+/// expressions. `max_skeleton` bounds the skeleton size (the paper
+/// requires it constant, i.e. independent of the unfolding length `k`).
+pub fn is_constant_nf(e: &Expr, is_state: &dyn Fn(Sym) -> bool, max_skeleton: usize) -> bool {
+    skeleton_size(e, is_state) <= max_skeleton
+}
+
+/// Whether `e` is in ⊳-recursive normal form for operator `op`
+/// (Definition 8.3): `e = ec | ec ⊳ e` with every `ec` in constant normal
+/// form. Returns the number of constant-normal-form chunks, or `None`.
+///
+/// Since `⊳` is associative for every operator we guess, the check
+/// flattens nested applications on both sides.
+pub fn recursive_nf(
+    e: &Expr,
+    op: BinOp,
+    is_state: &dyn Fn(Sym) -> bool,
+    max_skeleton: usize,
+) -> Option<usize> {
+    let mut chunks = Vec::new();
+    flatten(e, op, &mut chunks);
+    if chunks
+        .iter()
+        .all(|c| is_constant_nf(c, is_state, max_skeleton))
+    {
+        Some(chunks.len())
+    } else {
+        None
+    }
+}
+
+/// Flatten an associative operator application into its chunk list.
+pub fn flatten<'e>(e: &'e Expr, op: BinOp, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Binary(o, a, b) if *o == op => {
+            flatten(a, op, out);
+            flatten(b, op, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Candidate `⊳` operators for the phase-2 guess, ordered by how close
+/// to the root of `e` they occur (§8.2: "operators that appear near the
+/// root of expression e are good candidates for ⊳").
+pub fn candidate_recursion_ops(e: &Expr) -> Vec<BinOp> {
+    let mut seen: Vec<(usize, BinOp)> = Vec::new();
+    fn visit(e: &Expr, depth: usize, seen: &mut Vec<(usize, BinOp)>) {
+        match e {
+            Expr::Binary(op, a, b) => {
+                if op.is_associative() {
+                    match seen.iter_mut().find(|(_, o)| o == op) {
+                        Some(entry) => entry.0 = entry.0.min(depth),
+                        None => seen.push((depth, *op)),
+                    }
+                }
+                visit(a, depth + 1, seen);
+                visit(b, depth + 1, seen);
+            }
+            Expr::Len(a) | Expr::Zeros(a) | Expr::Unary(_, a) => visit(a, depth + 1, seen),
+            Expr::Index(a, b) => {
+                visit(a, depth + 1, seen);
+                visit(b, depth + 1, seen);
+            }
+            Expr::Ite(c, t, e2) => {
+                visit(c, depth + 1, seen);
+                visit(t, depth + 1, seen);
+                visit(e2, depth + 1, seen);
+            }
+            _ => {}
+        }
+    }
+    visit(e, 0, &mut seen);
+    seen.sort_by_key(|(d, _)| *d);
+    seen.into_iter().map(|(_, op)| op).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::Interner;
+
+    struct Setup {
+        s: Expr,
+        a1: Expr,
+        a2: Expr,
+        s_sym: Sym,
+    }
+
+    fn setup() -> Setup {
+        let mut i = Interner::new();
+        let s_sym = i.intern("s");
+        Setup {
+            s: Expr::var(s_sym),
+            a1: Expr::var(i.intern("a1")),
+            a2: Expr::var(i.intern("a2")),
+            s_sym,
+        }
+    }
+
+    #[test]
+    fn classify_distinguishes_purities() {
+        let st = setup();
+        let is_state = |sym: Sym| sym == st.s_sym;
+        assert_eq!(classify(&Expr::int(3), &is_state), Purity::Constant);
+        assert_eq!(classify(&st.s, &is_state), Purity::StateOnly);
+        assert_eq!(
+            classify(&Expr::add(st.a1.clone(), st.a2.clone()), &is_state),
+            Purity::InputOnly
+        );
+        assert_eq!(
+            classify(&Expr::add(st.s.clone(), st.a1.clone()), &is_state),
+            Purity::Mixed
+        );
+    }
+
+    #[test]
+    fn constant_nf_accepts_small_skeletons() {
+        let st = setup();
+        let is_state = |sym: Sym| sym == st.s_sym;
+        // s + (a1 + a2): skeleton is one `+` node over two pure leaves.
+        let e = Expr::add(st.s.clone(), Expr::add(st.a1.clone(), st.a2.clone()));
+        assert_eq!(skeleton_size(&e, &is_state), 1);
+        assert!(is_constant_nf(&e, &is_state, 4));
+    }
+
+    #[test]
+    fn constant_nf_rejects_interleaved_state() {
+        let st = setup();
+        let is_state = |sym: Sym| sym == st.s_sym;
+        // max(s + a1, 0) + a2 has the state buried under two mixed nodes —
+        // still a small skeleton, but watch that the count is right.
+        let e = Expr::add(
+            Expr::max(Expr::add(st.s.clone(), st.a1.clone()), Expr::int(0)),
+            st.a2.clone(),
+        );
+        assert_eq!(skeleton_size(&e, &is_state), 3);
+        assert!(!is_constant_nf(&e, &is_state, 2));
+    }
+
+    #[test]
+    fn recursive_nf_counts_chunks() {
+        let st = setup();
+        let is_state = |sym: Sym| sym == st.s_sym;
+        // max(s + a1, max(a2, 0)) is a max-recursive NF with 2 chunks.
+        let e = Expr::max(
+            Expr::add(st.s.clone(), st.a1.clone()),
+            Expr::max(st.a2.clone(), Expr::int(0)),
+        );
+        assert_eq!(recursive_nf(&e, BinOp::Max, &is_state, 2), Some(3));
+    }
+
+    #[test]
+    fn recursive_nf_rejects_bad_chunks() {
+        let st = setup();
+        let is_state = |sym: Sym| sym == st.s_sym;
+        // A chunk with a big mixed skeleton fails with max_skeleton = 1.
+        let mixed = Expr::add(
+            Expr::add(st.s.clone(), st.a1.clone()),
+            Expr::max(Expr::add(st.s.clone(), st.a2.clone()), Expr::int(0)),
+        );
+        let e = Expr::max(mixed, Expr::int(0));
+        assert_eq!(recursive_nf(&e, BinOp::Max, &is_state, 1), None);
+    }
+
+    #[test]
+    fn candidate_ops_ordered_by_depth() {
+        let st = setup();
+        // max at root, + below.
+        let e = Expr::max(Expr::add(st.s.clone(), st.a1.clone()), st.a2.clone());
+        let ops = candidate_recursion_ops(&e);
+        assert_eq!(ops[0], BinOp::Max);
+        assert!(ops.contains(&BinOp::Add));
+    }
+}

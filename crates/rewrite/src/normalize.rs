@@ -1,0 +1,229 @@
+//! Cost-guided best-first normalization (§8.2).
+//!
+//! The paper's oracle `Normalize` is undecidable in general; this module
+//! implements the heuristic: apply rules from `R` while they improve the
+//! active cost function, searching best-first with a bounded number of
+//! expansions.
+
+use crate::cost::Cost;
+use crate::rules::{constant_fold, single_step_rewrites, Rule};
+use parsynt_lang::ast::Expr;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Result of a normalization run.
+#[derive(Debug, Clone)]
+pub struct NormalizeOutcome<V> {
+    /// The best (lowest-cost) expression found.
+    pub best: Expr,
+    /// Its cost.
+    pub best_cost: V,
+    /// How many search nodes were expanded.
+    pub expansions: usize,
+    /// Whether any rewrite improved on the input expression.
+    pub improved: bool,
+}
+
+/// The normalizer configuration.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    rules: Vec<Rule>,
+    /// Bound on search-node expansions (keeps the search sub-second, as
+    /// in the paper's "lightning fast" lifting claim).
+    pub max_expansions: usize,
+    /// Expressions larger than this are not enqueued.
+    pub max_expr_size: usize,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Normalizer {
+            rules: crate::rules::all_rules().to_vec(),
+            max_expansions: 3000,
+            max_expr_size: 300,
+        }
+    }
+}
+
+impl Normalizer {
+    /// A normalizer with the full rule set and default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the search budget.
+    pub fn with_max_expansions(mut self, n: usize) -> Self {
+        self.max_expansions = n;
+        self
+    }
+
+    /// Run best-first search minimizing `cost` starting from `start`.
+    pub fn run<C: Cost>(&self, start: &Expr, cost: &C) -> NormalizeOutcome<C::Val> {
+        let start = constant_fold(start);
+        let start_cost = cost.cost(&start);
+        let mut best = start.clone();
+        let mut best_cost = start_cost.clone();
+
+        // Priority queue keyed by cost (then insertion order for
+        // determinism). `Reverse` turns the max-heap into a min-heap.
+        let mut counter = 0usize;
+        let mut heap: BinaryHeap<Reverse<(C::Val, usize)>> = BinaryHeap::new();
+        let mut payload: Vec<Expr> = Vec::new();
+        let mut visited: HashSet<Expr> = HashSet::new();
+
+        visited.insert(start.clone());
+        heap.push(Reverse((start_cost, counter)));
+        payload.push(start);
+
+        let mut expansions = 0usize;
+        while let Some(Reverse((c, id))) = heap.pop() {
+            if expansions >= self.max_expansions {
+                break;
+            }
+            expansions += 1;
+            let e = payload[id].clone();
+            if c < best_cost {
+                best_cost = c.clone();
+                best = e.clone();
+            }
+            for next in single_step_rewrites(&e, &self.rules) {
+                if next.size() > self.max_expr_size {
+                    continue;
+                }
+                if visited.contains(&next) {
+                    continue;
+                }
+                let next_cost = cost.cost(&next);
+                // Only walk along non-worsening paths: the paper applies a
+                // rule only when it improves the cost; allowing equal-cost
+                // moves lets commutativity expose factoring opportunities.
+                if next_cost > c {
+                    continue;
+                }
+                visited.insert(next.clone());
+                counter += 1;
+                heap.push(Reverse((next_cost, counter)));
+                payload.push(next);
+            }
+        }
+
+        let improved = best_cost < cost.cost(&payload[0]);
+        NormalizeOutcome {
+            best,
+            best_cost,
+            expansions,
+            improved,
+        }
+    }
+}
+
+/// Convenience wrapper: normalize `e` under `cost` with default bounds.
+pub fn normalize<C: Cost>(e: &Expr, cost: &C) -> NormalizeOutcome<C::Val> {
+    Normalizer::new().run(e, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{Phase1Cost, RecursiveCost};
+    use crate::normal_form::{is_constant_nf, recursive_nf};
+    use parsynt_lang::ast::{BinOp, Expr, Interner, Sym};
+
+    /// Build the 2-step unfolding of the mbbs loop body
+    /// `s ↦ max(s + a, 0)`: `max(max(s + a1, 0) + a2, 0)`.
+    fn mbbs_unfolding() -> (Sym, Expr, Expr, Expr) {
+        let mut i = Interner::new();
+        let s_sym = i.intern("s");
+        let s = Expr::var(s_sym);
+        let a1 = Expr::var(i.intern("a1"));
+        let a2 = Expr::var(i.intern("a2"));
+        let step1 = Expr::max(Expr::add(s, a1.clone()), Expr::int(0));
+        let step2 = Expr::max(Expr::add(step1, a2.clone()), Expr::int(0));
+        (s_sym, step2, a1, a2)
+    }
+
+    #[test]
+    fn phase1_normalizes_mbbs_to_constant_nf() {
+        let (s_sym, unfolding, _, _) = mbbs_unfolding();
+        let is_state = move |x: Sym| x == s_sym;
+        let cost = Phase1Cost::new(is_state);
+        let out = normalize(&unfolding, &cost);
+        // The result must be a constant normal form: state `s` appears
+        // once, at shallow depth, added to a pure input expression.
+        assert!(out.improved);
+        assert!(
+            is_constant_nf(&out.best, &|x| x == s_sym, 4),
+            "not constant NF: {out:?}"
+        );
+        // Semantics preserved on a sample valuation: s=1, a1=-3, a2=2
+        // original: max(max(1-3,0)+2, 0) = 2.
+        let mut env = parsynt_lang::interp::Env::for_program(
+            &parsynt_lang::parse(
+                "input z : seq<int>; state q : int = 0;\n\
+             for i in 0 .. len(z) { q = q + z[i]; }",
+            )
+            .unwrap(),
+        );
+        // Symbols s, a1, a2 were interned as 0, 1, 2 in a fresh interner.
+        env.set(Sym(0), parsynt_lang::Value::Int(1));
+        env.set(Sym(1), parsynt_lang::Value::Int(-3));
+        env.set(Sym(2), parsynt_lang::Value::Int(2));
+        let v = parsynt_lang::interp::eval_expr(&env, &out.best).unwrap();
+        assert_eq!(v, parsynt_lang::Value::Int(2));
+    }
+
+    #[test]
+    fn phase2_reaches_max_recursive_nf() {
+        // An expression that is NOT constant-normalizable: interleaved
+        // maxes like Figure 8. max(max(s + a1, a1), a2) style — here we
+        // check the phase-2 cost can at least recognize and keep a
+        // max-recursive NF.
+        let mut i = Interner::new();
+        let s_sym = i.intern("s");
+        let s = Expr::var(s_sym);
+        let a1 = Expr::var(i.intern("a1"));
+        let a2 = Expr::var(i.intern("a2"));
+        // max(max(s + a1, s + a1 + a2), a2):
+        let e = Expr::max(
+            Expr::max(
+                Expr::add(s.clone(), a1.clone()),
+                Expr::add(Expr::add(s.clone(), a1.clone()), a2.clone()),
+            ),
+            a2.clone(),
+        );
+        let cost = RecursiveCost::new(BinOp::Max, 2, move |x| x == s_sym);
+        let out = normalize(&e, &cost);
+        assert_eq!(out.best_cost.size, 0, "best: {:?}", out.best);
+        assert!(recursive_nf(&out.best, BinOp::Max, &|x| x == s_sym, 2).is_some());
+    }
+
+    #[test]
+    fn normalization_is_deterministic() {
+        let (s_sym, unfolding, _, _) = mbbs_unfolding();
+        let cost = Phase1Cost::new(move |x: Sym| x == s_sym);
+        let a = normalize(&unfolding, &cost);
+        let b = normalize(&unfolding, &cost);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn expansion_budget_is_respected() {
+        let (s_sym, unfolding, _, _) = mbbs_unfolding();
+        let cost = Phase1Cost::new(move |x: Sym| x == s_sym);
+        let out = Normalizer::new()
+            .with_max_expansions(5)
+            .run(&unfolding, &cost);
+        assert!(out.expansions <= 5);
+    }
+
+    #[test]
+    fn already_normal_input_is_returned_unchanged_in_cost() {
+        let mut i = Interner::new();
+        let s_sym = i.intern("s");
+        let e = Expr::add(Expr::var(s_sym), Expr::var(i.intern("a1")));
+        let cost = Phase1Cost::new(move |x: Sym| x == s_sym);
+        let out = normalize(&e, &cost);
+        assert_eq!(out.best, e);
+        assert!(!out.improved);
+    }
+}

@@ -1,0 +1,624 @@
+//! The rewrite-rule set `R`: standard algebraic identities over the
+//! expression language.
+//!
+//! Each [`Rule`] is a local transformation applicable at any subterm.
+//! Rules come in both directions where useful (distribution *and*
+//! factoring); the normalizer only applies a rule when it improves the
+//! active cost function, which is what guarantees termination (§8.2).
+
+use parsynt_lang::ast::{BinOp, Expr, UnOp};
+use parsynt_lang::interp::eval_binop;
+use parsynt_lang::Value;
+
+/// A named local rewrite rule.
+#[derive(Clone, Copy)]
+pub struct Rule {
+    /// Human-readable rule name (shows up in traces and tests).
+    pub name: &'static str,
+    /// Attempt the rewrite at the given node; `None` if inapplicable.
+    pub apply: fn(&Expr) -> Vec<Expr>,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule").field("name", &self.name).finish()
+    }
+}
+
+fn bin(op: BinOp, a: &Expr, b: &Expr) -> Expr {
+    Expr::bin(op, a.clone(), b.clone())
+}
+
+/// Fold constant subexpressions bottom-up (`1 + 2 → 3`, `max(x, x) → x`
+/// is *not* done here — only literal arithmetic and boolean identities).
+pub fn constant_fold(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary(op, a, b) => {
+            let fa = constant_fold(a);
+            let fb = constant_fold(b);
+            let lit = |e: &Expr| -> Option<Value> {
+                match e {
+                    Expr::Int(n) => Some(Value::Int(*n)),
+                    Expr::Bool(b) => Some(Value::Bool(*b)),
+                    _ => None,
+                }
+            };
+            if let (Some(va), Some(vb)) = (lit(&fa), lit(&fb)) {
+                if let Ok(v) = eval_binop(*op, &va, &vb) {
+                    return match v {
+                        Value::Int(n) => Expr::Int(n),
+                        Value::Bool(b) => Expr::Bool(b),
+                        Value::Seq(_) => Expr::bin(*op, fa, fb),
+                    };
+                }
+            }
+            // Unit and idempotence simplifications keep rewrite products
+            // from growing spuriously (e.g. `0 + a` after distribution).
+            match (op, &fa, &fb) {
+                (BinOp::Add, Expr::Int(0), _) => return fb,
+                (BinOp::Add, _, Expr::Int(0)) | (BinOp::Sub, _, Expr::Int(0)) => return fa,
+                (BinOp::Mul, Expr::Int(1), _) => return fb,
+                (BinOp::Mul, _, Expr::Int(1)) => return fa,
+                (BinOp::Mul, Expr::Int(0), _) | (BinOp::Mul, _, Expr::Int(0)) => {
+                    return Expr::Int(0)
+                }
+                (BinOp::And, Expr::Bool(true), _) => return fb,
+                (BinOp::And, _, Expr::Bool(true)) => return fa,
+                (BinOp::And, Expr::Bool(false), _) | (BinOp::And, _, Expr::Bool(false)) => {
+                    return Expr::Bool(false)
+                }
+                (BinOp::Or, Expr::Bool(false), _) => return fb,
+                (BinOp::Or, _, Expr::Bool(false)) => return fa,
+                (BinOp::Or, Expr::Bool(true), _) | (BinOp::Or, _, Expr::Bool(true)) => {
+                    return Expr::Bool(true)
+                }
+                (BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or, a2, b2) if a2 == b2 => {
+                    return fa
+                }
+                (BinOp::Sub, a2, b2) if a2 == b2 => return Expr::Int(0),
+                _ => {}
+            }
+            Expr::bin(*op, fa, fb)
+        }
+        Expr::Unary(op, a) => {
+            let fa = constant_fold(a);
+            match (op, &fa) {
+                (UnOp::Neg, Expr::Int(n)) => Expr::Int(n.wrapping_neg()),
+                (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
+                _ => Expr::Unary(*op, Box::new(fa)),
+            }
+        }
+        Expr::Ite(c, t, e2) => {
+            let fc = constant_fold(c);
+            match fc {
+                Expr::Bool(true) => constant_fold(t),
+                Expr::Bool(false) => constant_fold(e2),
+                _ => Expr::ite(fc, constant_fold(t), constant_fold(e2)),
+            }
+        }
+        Expr::Index(a, b) => Expr::index(constant_fold(a), constant_fold(b)),
+        Expr::Len(a) => Expr::Len(Box::new(constant_fold(a))),
+        Expr::Zeros(a) => Expr::Zeros(Box::new(constant_fold(a))),
+        _ => e.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Individual rules. Each returns every way it applies at the root node.
+// ---------------------------------------------------------------------
+
+fn identities(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(op, a, b) = e {
+        match op {
+            BinOp::Add => {
+                if **a == Expr::Int(0) {
+                    out.push((**b).clone());
+                }
+                if **b == Expr::Int(0) {
+                    out.push((**a).clone());
+                }
+            }
+            BinOp::Sub => {
+                if **b == Expr::Int(0) {
+                    out.push((**a).clone());
+                }
+                if a == b {
+                    out.push(Expr::Int(0));
+                }
+            }
+            BinOp::Mul => {
+                if **a == Expr::Int(1) {
+                    out.push((**b).clone());
+                }
+                if **b == Expr::Int(1) {
+                    out.push((**a).clone());
+                }
+                if **a == Expr::Int(0) || **b == Expr::Int(0) {
+                    out.push(Expr::Int(0));
+                }
+            }
+            BinOp::Min | BinOp::Max if a == b => {
+                out.push((**a).clone());
+            }
+            BinOp::And => {
+                if **a == Expr::Bool(true) {
+                    out.push((**b).clone());
+                }
+                if **b == Expr::Bool(true) {
+                    out.push((**a).clone());
+                }
+                if **a == Expr::Bool(false) || **b == Expr::Bool(false) {
+                    out.push(Expr::Bool(false));
+                }
+                if a == b {
+                    out.push((**a).clone());
+                }
+            }
+            BinOp::Or => {
+                if **a == Expr::Bool(false) {
+                    out.push((**b).clone());
+                }
+                if **b == Expr::Bool(false) {
+                    out.push((**a).clone());
+                }
+                if **a == Expr::Bool(true) || **b == Expr::Bool(true) {
+                    out.push(Expr::Bool(true));
+                }
+                if a == b {
+                    out.push((**a).clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Expr::Unary(UnOp::Not, inner) = e {
+        if let Expr::Unary(UnOp::Not, x) = inner.as_ref() {
+            out.push((**x).clone());
+        }
+    }
+    if let Expr::Ite(c, t, e2) = e {
+        if t == e2 {
+            out.push((**t).clone());
+        }
+        match c.as_ref() {
+            Expr::Bool(true) => out.push((**t).clone()),
+            Expr::Bool(false) => out.push((**e2).clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `max(a,b) + c → max(a+c, b+c)` (and min, and the mirrored operand
+/// order). This is the key distribution used in Figure 8 of the paper.
+fn distribute_add_over_minmax(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(BinOp::Add, a, b) = e {
+        for (mm, other) in [(a, b), (b, a)] {
+            if let Expr::Binary(op @ (BinOp::Min | BinOp::Max), x, y) = mm.as_ref() {
+                out.push(Expr::bin(
+                    *op,
+                    bin(BinOp::Add, x, other),
+                    bin(BinOp::Add, y, other),
+                ));
+            }
+        }
+    }
+    // Subtraction distributes on the left: max(x,y) - c → max(x-c, y-c).
+    if let Expr::Binary(BinOp::Sub, a, c) = e {
+        if let Expr::Binary(op @ (BinOp::Min | BinOp::Max), x, y) = a.as_ref() {
+            out.push(Expr::bin(*op, bin(BinOp::Sub, x, c), bin(BinOp::Sub, y, c)));
+        }
+    }
+    out
+}
+
+/// Factoring (the reverse direction): `max(a+c, b+c) → max(a,b) + c`,
+/// including all four operand arrangements of the shared term.
+fn factor_add_from_minmax(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(op @ (BinOp::Min | BinOp::Max), l, r) = e {
+        if let (Expr::Binary(BinOp::Add, a, b), Expr::Binary(BinOp::Add, c, d)) =
+            (l.as_ref(), r.as_ref())
+        {
+            let combos: [(&Expr, &Expr, &Expr, &Expr); 4] =
+                [(a, b, c, d), (a, b, d, c), (b, a, c, d), (b, a, d, c)];
+            for (shared, rest_l, cand, rest_r) in combos {
+                if shared == cand {
+                    out.push(Expr::add(
+                        shared.clone(),
+                        Expr::bin(*op, rest_l.clone(), rest_r.clone()),
+                    ));
+                }
+            }
+        }
+        // max(a + c, c) → c + max(a, 0)
+        for (sum, lone) in [(l, r), (r, l)] {
+            if let Expr::Binary(BinOp::Add, a, b) = sum.as_ref() {
+                for (shared, rest) in [(a, b), (b, a)] {
+                    if shared == lone {
+                        out.push(Expr::add(
+                            (**shared).clone(),
+                            Expr::bin(*op, (**rest).clone(), Expr::Int(0)),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `c + (b ? x : y) → b ? c+x : c+y` and the analogous pull for any
+/// integer binary operator; plus the factoring direction.
+fn distribute_over_ite(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(op, a, b) = e {
+        if op.int_args() && op.result_ty() == parsynt_lang::Ty::Int {
+            for (ite_side, other, ite_left) in [(a, b, true), (b, a, false)] {
+                if let Expr::Ite(c, t, el) = ite_side.as_ref() {
+                    let mk = |branch: &Expr| {
+                        if ite_left {
+                            bin(*op, branch, other)
+                        } else {
+                            bin(*op, other, branch)
+                        }
+                    };
+                    out.push(Expr::ite((**c).clone(), mk(t), mk(el)));
+                }
+            }
+        }
+    }
+    if let Expr::Ite(c, t, el) = e {
+        // ite(c, a⊕x, a⊕y) → a ⊕ ite(c, x, y)
+        if let (Expr::Binary(op1, a, x), Expr::Binary(op2, b, y)) = (t.as_ref(), el.as_ref()) {
+            if op1 == op2 && a == b {
+                out.push(Expr::bin(
+                    *op1,
+                    (**a).clone(),
+                    Expr::ite((**c).clone(), (**x).clone(), (**y).clone()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Associativity rotations in both directions for associative operators.
+fn associativity(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(op, a, b) = e {
+        if op.is_associative() {
+            if let Expr::Binary(op2, x, y) = a.as_ref() {
+                if op2 == op {
+                    out.push(Expr::bin(*op, (**x).clone(), bin(*op, y, b)));
+                }
+            }
+            if let Expr::Binary(op2, x, y) = b.as_ref() {
+                if op2 == op {
+                    out.push(Expr::bin(*op, bin(*op, a, x), (**y).clone()));
+                }
+            }
+        }
+        // (a - b) - c → a - (b + c);  (a + b) - c → a + (b - c)
+        if *op == BinOp::Sub {
+            if let Expr::Binary(BinOp::Sub, x, y) = a.as_ref() {
+                out.push(Expr::sub((**x).clone(), bin(BinOp::Add, y, b)));
+            }
+            if let Expr::Binary(BinOp::Add, x, y) = a.as_ref() {
+                out.push(Expr::add((**x).clone(), bin(BinOp::Sub, y, b)));
+            }
+        }
+    }
+    out
+}
+
+/// Commutativity for commutative operators.
+fn commutativity(e: &Expr) -> Vec<Expr> {
+    if let Expr::Binary(op, a, b) = e {
+        if op.is_commutative() && a != b {
+            return vec![bin(*op, b, a)];
+        }
+    }
+    Vec::new()
+}
+
+/// Comparison normalization: `a + b >= c → a >= c - b` and friends.
+/// These expose state variables at shallow depth in guard expressions.
+fn isolate_in_comparison(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), l, r) = e {
+        if let Expr::Binary(BinOp::Add, a, b) = l.as_ref() {
+            out.push(Expr::bin(
+                *op,
+                (**a).clone(),
+                Expr::sub((**r).clone(), (**b).clone()),
+            ));
+            out.push(Expr::bin(
+                *op,
+                (**b).clone(),
+                Expr::sub((**r).clone(), (**a).clone()),
+            ));
+        }
+        if let Expr::Binary(BinOp::Add, a, b) = r.as_ref() {
+            out.push(Expr::bin(
+                *op,
+                Expr::sub((**l).clone(), (**b).clone()),
+                (**a).clone(),
+            ));
+            out.push(Expr::bin(
+                *op,
+                Expr::sub((**l).clone(), (**a).clone()),
+                (**b).clone(),
+            ));
+        }
+    }
+    out
+}
+
+/// Boolean distribution: `(a && b) || (a && c) → a && (b || c)` and the
+/// distribution direction.
+fn bool_algebra(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(BinOp::Or, l, r) = e {
+        if let (Expr::Binary(BinOp::And, a, b), Expr::Binary(BinOp::And, c, d)) =
+            (l.as_ref(), r.as_ref())
+        {
+            let combos: [(&Expr, &Expr, &Expr, &Expr); 4] =
+                [(a, b, c, d), (a, b, d, c), (b, a, c, d), (b, a, d, c)];
+            for (shared, rest_l, cand, rest_r) in combos {
+                if shared == cand {
+                    out.push(Expr::and(
+                        shared.clone(),
+                        Expr::or(rest_l.clone(), rest_r.clone()),
+                    ));
+                }
+            }
+        }
+    }
+    if let Expr::Binary(BinOp::And, a, b) = e {
+        if let Expr::Binary(BinOp::Or, x, y) = b.as_ref() {
+            out.push(Expr::or(bin(BinOp::And, a, x), bin(BinOp::And, a, y)));
+        }
+    }
+    out
+}
+
+/// `min(a, b) ⊕ comparison` fusions: `min(a,b) >= c → a >= c && b >= c`
+/// and `max(a,b) >= c → a >= c || b >= c`. These rewrite "tracked
+/// minimum" guards, the shape that appears in the balanced-parentheses
+/// lift (§2.1).
+fn minmax_comparisons(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Binary(op @ (BinOp::Ge | BinOp::Gt), l, r) = e {
+        if let Expr::Binary(BinOp::Min, a, b) = l.as_ref() {
+            out.push(Expr::and(bin(*op, a, r), bin(*op, b, r)));
+        }
+        if let Expr::Binary(BinOp::Max, a, b) = l.as_ref() {
+            out.push(Expr::or(bin(*op, a, r), bin(*op, b, r)));
+        }
+    }
+    if let Expr::Binary(BinOp::And, l, r) = e {
+        // a >= c && b >= c → min(a,b) >= c  (factoring direction)
+        if let (Expr::Binary(op1 @ (BinOp::Ge | BinOp::Gt), a, c1), Expr::Binary(op2, b, c2)) =
+            (l.as_ref(), r.as_ref())
+        {
+            if op1 == op2 && c1 == c2 {
+                out.push(Expr::bin(
+                    *op1,
+                    Expr::min((**a).clone(), (**b).clone()),
+                    (**c1).clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The complete rule set `R`.
+pub fn all_rules() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "identities",
+            apply: identities,
+        },
+        Rule {
+            name: "distribute-add-minmax",
+            apply: distribute_add_over_minmax,
+        },
+        Rule {
+            name: "factor-add-minmax",
+            apply: factor_add_from_minmax,
+        },
+        Rule {
+            name: "distribute-ite",
+            apply: distribute_over_ite,
+        },
+        Rule {
+            name: "associativity",
+            apply: associativity,
+        },
+        Rule {
+            name: "commutativity",
+            apply: commutativity,
+        },
+        Rule {
+            name: "isolate-comparison",
+            apply: isolate_in_comparison,
+        },
+        Rule {
+            name: "bool-algebra",
+            apply: bool_algebra,
+        },
+        Rule {
+            name: "minmax-comparison",
+            apply: minmax_comparisons,
+        },
+    ]
+}
+
+/// Enumerate all single-step rewrites of `e`: each rule applied at each
+/// position, with constant folding applied to every result.
+pub fn single_step_rewrites(e: &Expr, rules: &[Rule]) -> Vec<Expr> {
+    let mut out = Vec::new();
+    // Apply at root.
+    for rule in rules {
+        for rewritten in (rule.apply)(e) {
+            out.push(constant_fold(&rewritten));
+        }
+    }
+    // Apply in children via reconstruction.
+    let mut with_child = |child: &Expr, rebuild: &dyn Fn(Expr) -> Expr| {
+        for sub in single_step_rewrites(child, rules) {
+            out.push(rebuild(sub));
+        }
+    };
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => {}
+        Expr::Len(a) => with_child(a, &|x| Expr::Len(Box::new(x))),
+        Expr::Zeros(a) => with_child(a, &|x| Expr::Zeros(Box::new(x))),
+        Expr::Unary(op, a) => {
+            let op = *op;
+            with_child(a, &move |x| Expr::Unary(op, Box::new(x)));
+        }
+        Expr::Index(a, b) => {
+            let (ac, bc) = (a.clone(), b.clone());
+            with_child(a, &{
+                let bc = bc.clone();
+                move |x| Expr::index(x, (*bc).clone())
+            });
+            with_child(b, &move |x| Expr::index((*ac).clone(), x));
+        }
+        Expr::Binary(op, a, b) => {
+            let op = *op;
+            let (ac, bc) = (a.clone(), b.clone());
+            with_child(a, &{
+                let bc = bc.clone();
+                move |x| Expr::bin(op, x, (*bc).clone())
+            });
+            with_child(b, &move |x| Expr::bin(op, (*ac).clone(), x));
+        }
+        Expr::Ite(c, t, el) => {
+            let (cc, tc, ec) = (c.clone(), t.clone(), el.clone());
+            with_child(c, &{
+                let (tc, ec) = (tc.clone(), ec.clone());
+                move |x| Expr::ite(x, (*tc).clone(), (*ec).clone())
+            });
+            with_child(t, &{
+                let (cc, ec) = (cc.clone(), ec.clone());
+                move |x| Expr::ite((*cc).clone(), x, (*ec).clone())
+            });
+            with_child(el, &move |x| Expr::ite((*cc).clone(), (*tc).clone(), x));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::Interner;
+
+    fn vars() -> (Interner, Expr, Expr, Expr) {
+        let mut i = Interner::new();
+        let a = Expr::var(i.intern("a"));
+        let b = Expr::var(i.intern("b"));
+        let c = Expr::var(i.intern("c"));
+        (i, a, b, c)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::add(
+            Expr::int(1),
+            Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3)),
+        );
+        assert_eq!(constant_fold(&e), Expr::Int(7));
+        let e = Expr::ite(Expr::Bool(true), Expr::int(1), Expr::int(2));
+        assert_eq!(constant_fold(&e), Expr::Int(1));
+    }
+
+    #[test]
+    fn distributes_add_over_max() {
+        let (_, a, b, c) = vars();
+        let e = Expr::add(Expr::max(a.clone(), b.clone()), c.clone());
+        let rewrites = distribute_add_over_minmax(&e);
+        assert!(rewrites.contains(&Expr::max(Expr::add(a.clone(), c.clone()), Expr::add(b, c))));
+    }
+
+    #[test]
+    fn factors_shared_addend() {
+        let (_, a, b, c) = vars();
+        // max(c + a, c + b) → c + max(a, b)
+        let e = Expr::max(
+            Expr::add(c.clone(), a.clone()),
+            Expr::add(c.clone(), b.clone()),
+        );
+        let rewrites = factor_add_from_minmax(&e);
+        assert!(rewrites.contains(&Expr::add(c, Expr::max(a, b))));
+    }
+
+    #[test]
+    fn factors_lone_shared_term() {
+        let (_, a, _, c) = vars();
+        // max(c + a, c) → c + max(a, 0)
+        let e = Expr::max(Expr::add(c.clone(), a.clone()), c.clone());
+        let rewrites = factor_add_from_minmax(&e);
+        assert!(rewrites.contains(&Expr::add(c, Expr::max(a, Expr::int(0)))));
+    }
+
+    #[test]
+    fn min_comparison_splits_into_conjunction() {
+        let (_, a, b, c) = vars();
+        let e = Expr::bin(BinOp::Ge, Expr::min(a.clone(), b.clone()), c.clone());
+        let rewrites = minmax_comparisons(&e);
+        assert!(rewrites.contains(&Expr::and(
+            Expr::bin(BinOp::Ge, a, c.clone()),
+            Expr::bin(BinOp::Ge, b, c)
+        )));
+    }
+
+    #[test]
+    fn single_step_explores_subterms() {
+        let (_, a, b, c) = vars();
+        // (max(a,b) + c) + 0: identity applies at root, distribution one level down.
+        let e = Expr::add(
+            Expr::add(Expr::max(a.clone(), b.clone()), c.clone()),
+            Expr::int(0),
+        );
+        let steps = single_step_rewrites(&e, all_rules());
+        assert!(steps.contains(&Expr::add(Expr::max(a.clone(), b.clone()), c.clone())));
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, Expr::Binary(BinOp::Add, l, _)
+                if matches!(l.as_ref(), Expr::Binary(BinOp::Max, _, _) if l.size() > 3))));
+    }
+
+    #[test]
+    fn ite_distribution_both_ways() {
+        let (_, a, b, c) = vars();
+        let cond = Expr::bin(BinOp::Gt, b.clone(), Expr::int(0));
+        let e = Expr::add(a.clone(), Expr::ite(cond.clone(), b.clone(), c.clone()));
+        let rewrites = distribute_over_ite(&e);
+        assert_eq!(
+            rewrites[0],
+            Expr::ite(
+                cond.clone(),
+                Expr::add(a.clone(), b.clone()),
+                Expr::add(a.clone(), c.clone())
+            )
+        );
+        // And factoring back out:
+        let refactored = distribute_over_ite(&rewrites[0]);
+        assert!(refactored.contains(&e));
+    }
+
+    #[test]
+    fn subtraction_reassociation() {
+        let (_, a, b, c) = vars();
+        let e = Expr::sub(Expr::sub(a.clone(), b.clone()), c.clone());
+        let rewrites = associativity(&e);
+        assert!(rewrites.contains(&Expr::sub(a, Expr::add(b, c))));
+    }
+}

@@ -1,0 +1,487 @@
+//! Symbolic execution of loop bodies.
+//!
+//! Builds the *sequential unfolding* expressions (the left-hand side of
+//! Equation 3 in §8.1) that normalization then rewrites: state variables
+//! start as symbolic leaves, loop bodies are unrolled over concrete small
+//! shapes, and every assignment composes expression trees. Conditionals
+//! with symbolic guards fork the environment and merge with `Ite` nodes.
+
+use crate::rules::constant_fold;
+use parsynt_lang::ast::{Expr, LValue, Stmt, Sym};
+use parsynt_lang::error::{LangError, Result};
+use std::collections::BTreeMap;
+
+/// A symbolic value: an expression tree for scalars, or a vector of
+/// symbolic values for (concretely shaped) sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymVal {
+    /// A scalar symbolic expression.
+    Scalar(Expr),
+    /// A sequence with a concrete length but symbolic elements.
+    Array(Vec<SymVal>),
+}
+
+impl SymVal {
+    /// A symbolic integer literal.
+    pub fn int(n: i64) -> SymVal {
+        SymVal::Scalar(Expr::Int(n))
+    }
+
+    /// A symbolic leaf variable.
+    pub fn leaf(sym: Sym) -> SymVal {
+        SymVal::Scalar(Expr::Var(sym))
+    }
+
+    /// The scalar expression, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<&Expr> {
+        match self {
+            SymVal::Scalar(e) => Some(e),
+            SymVal::Array(_) => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[SymVal]> {
+        match self {
+            SymVal::Array(items) => Some(items),
+            SymVal::Scalar(_) => None,
+        }
+    }
+}
+
+/// A symbolic environment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymEnv {
+    vars: BTreeMap<Sym, SymVal>,
+}
+
+impl SymEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable.
+    pub fn set(&mut self, sym: Sym, val: SymVal) {
+        self.vars.insert(sym, val);
+    }
+
+    /// Read a variable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if unbound.
+    pub fn get(&self, sym: Sym) -> Result<&SymVal> {
+        self.vars
+            .get(&sym)
+            .ok_or_else(|| LangError::eval(format!("symbolic: unbound variable #{}", sym.0)))
+    }
+
+    /// Remove a binding.
+    pub fn unset(&mut self, sym: Sym) {
+        self.vars.remove(&sym);
+    }
+
+    /// Iterate over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, &SymVal)> {
+        self.vars.iter()
+    }
+}
+
+/// Evaluate an expression symbolically.
+///
+/// # Errors
+///
+/// Fails on unbound variables, symbolic (non-constant) indices or loop
+/// bounds, and ill-shaped operations (e.g. arithmetic on arrays).
+pub fn sym_eval(env: &SymEnv, e: &Expr) -> Result<SymVal> {
+    match e {
+        Expr::Int(n) => Ok(SymVal::int(*n)),
+        Expr::Bool(b) => Ok(SymVal::Scalar(Expr::Bool(*b))),
+        Expr::Var(s) => env.get(*s).cloned(),
+        Expr::Index(base, idx) => {
+            let base_v = sym_eval(env, base)?;
+            let idx_v = sym_eval(env, idx)?;
+            let idx_e = idx_v
+                .as_scalar()
+                .ok_or_else(|| LangError::eval("symbolic: index is not a scalar"))?;
+            // Indexing an *opaque* scalar (e.g. an input bound as a leaf)
+            // yields a symbolic projection expression.
+            if let SymVal::Scalar(base_e) = &base_v {
+                return Ok(SymVal::Scalar(Expr::index(base_e.clone(), idx_e.clone())));
+            }
+            let Expr::Int(i) = constant_fold(idx_e) else {
+                return Err(LangError::eval("symbolic: non-constant index"));
+            };
+            let items = base_v
+                .as_array()
+                .ok_or_else(|| LangError::eval("symbolic: indexing a scalar"))?;
+            usize::try_from(i)
+                .ok()
+                .and_then(|i| items.get(i))
+                .cloned()
+                .ok_or_else(|| LangError::eval(format!("symbolic: index {i} out of bounds")))
+        }
+        Expr::Len(inner) => {
+            let v = sym_eval(env, inner)?;
+            match &v {
+                SymVal::Array(items) => Ok(SymVal::int(items.len() as i64)),
+                SymVal::Scalar(e) => Ok(SymVal::Scalar(Expr::Len(Box::new(e.clone())))),
+            }
+        }
+        Expr::Zeros(n) => {
+            let v = sym_eval(env, n)?;
+            let Some(Expr::Int(n)) = v.as_scalar().map(constant_fold) else {
+                return Err(LangError::eval("symbolic: non-constant `zeros` length"));
+            };
+            let n = usize::try_from(n)
+                .map_err(|_| LangError::eval("symbolic: negative `zeros` length"))?;
+            Ok(SymVal::Array(vec![SymVal::int(0); n]))
+        }
+        Expr::Unary(op, inner) => {
+            let v = sym_eval(env, inner)?;
+            let e = v
+                .as_scalar()
+                .ok_or_else(|| LangError::eval("symbolic: unary op on array"))?;
+            Ok(SymVal::Scalar(constant_fold(&Expr::Unary(
+                *op,
+                Box::new(e.clone()),
+            ))))
+        }
+        Expr::Binary(op, a, b) => {
+            let va = sym_eval(env, a)?;
+            let vb = sym_eval(env, b)?;
+            match (va.as_scalar(), vb.as_scalar()) {
+                (Some(ea), Some(eb)) => Ok(SymVal::Scalar(constant_fold(&Expr::bin(
+                    *op,
+                    ea.clone(),
+                    eb.clone(),
+                )))),
+                _ => Err(LangError::eval("symbolic: binary op on arrays")),
+            }
+        }
+        Expr::Ite(c, t, e2) => {
+            let vc = sym_eval(env, c)?;
+            let ec = vc
+                .as_scalar()
+                .ok_or_else(|| LangError::eval("symbolic: array condition"))?;
+            match constant_fold(ec) {
+                Expr::Bool(true) => sym_eval(env, t),
+                Expr::Bool(false) => sym_eval(env, e2),
+                cond => {
+                    let vt = sym_eval(env, t)?;
+                    let ve = sym_eval(env, e2)?;
+                    match (vt.as_scalar(), ve.as_scalar()) {
+                        (Some(et), Some(ee)) => Ok(SymVal::Scalar(constant_fold(&Expr::ite(
+                            cond,
+                            et.clone(),
+                            ee.clone(),
+                        )))),
+                        _ => Err(LangError::eval("symbolic: array-valued `?:` branches")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execute a statement symbolically, mutating `env`.
+///
+/// # Errors
+///
+/// Same failure modes as [`sym_eval`]; additionally, loops with symbolic
+/// bounds cannot be unrolled.
+pub fn sym_exec(env: &mut SymEnv, stmt: &Stmt) -> Result<()> {
+    match stmt {
+        Stmt::Let { name, init, .. } => {
+            let v = sym_eval(env, init)?;
+            env.set(*name, v);
+            Ok(())
+        }
+        Stmt::Assign { target, value } => {
+            let v = sym_eval(env, value)?;
+            sym_assign(env, target, v)
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let vc = sym_eval(env, cond)?;
+            let ec = vc
+                .as_scalar()
+                .ok_or_else(|| LangError::eval("symbolic: array condition"))?;
+            match constant_fold(ec) {
+                Expr::Bool(true) => sym_exec_all(env, then_branch),
+                Expr::Bool(false) => sym_exec_all(env, else_branch),
+                cond => {
+                    let mut then_env = env.clone();
+                    let mut else_env = env.clone();
+                    sym_exec_all(&mut then_env, then_branch)?;
+                    sym_exec_all(&mut else_env, else_branch)?;
+                    *env = merge_envs(&cond, &then_env, &else_env)?;
+                    Ok(())
+                }
+            }
+        }
+        Stmt::For { var, bound, body } => {
+            let vb = sym_eval(env, bound)?;
+            let Some(Expr::Int(n)) = vb.as_scalar().map(constant_fold) else {
+                return Err(LangError::eval("symbolic: non-constant loop bound"));
+            };
+            for i in 0..n.max(0) {
+                env.set(*var, SymVal::int(i));
+                sym_exec_all(env, body)?;
+            }
+            env.unset(*var);
+            Ok(())
+        }
+    }
+}
+
+/// Execute a statement list symbolically.
+///
+/// # Errors
+///
+/// Propagates the first failure.
+pub fn sym_exec_all(env: &mut SymEnv, stmts: &[Stmt]) -> Result<()> {
+    for stmt in stmts {
+        sym_exec(env, stmt)?;
+    }
+    Ok(())
+}
+
+fn sym_assign(env: &mut SymEnv, target: &LValue, value: SymVal) -> Result<()> {
+    if target.indices.is_empty() {
+        env.set(target.base, value);
+        return Ok(());
+    }
+    let mut idxs = Vec::new();
+    for idx in &target.indices {
+        let v = sym_eval(env, idx)?;
+        let Some(Expr::Int(i)) = v.as_scalar().map(constant_fold) else {
+            return Err(LangError::eval("symbolic: non-constant assignment index"));
+        };
+        idxs.push(i);
+    }
+    let mut current = env.get(target.base)?.clone();
+    {
+        let mut slot = &mut current;
+        for &i in &idxs {
+            let items = match slot {
+                SymVal::Array(items) => items,
+                SymVal::Scalar(_) => {
+                    return Err(LangError::eval("symbolic: indexed assignment into scalar"))
+                }
+            };
+            slot = usize::try_from(i)
+                .ok()
+                .and_then(|i| items.get_mut(i))
+                .ok_or_else(|| LangError::eval(format!("symbolic: index {i} out of bounds")))?;
+        }
+        *slot = value;
+    }
+    env.set(target.base, current);
+    Ok(())
+}
+
+/// Merge two post-branch environments under a symbolic condition:
+/// differing scalars become `Ite(cond, then, else)`, arrays merge
+/// elementwise.
+fn merge_envs(cond: &Expr, then_env: &SymEnv, else_env: &SymEnv) -> Result<SymEnv> {
+    let mut merged = SymEnv::new();
+    for (sym, then_v) in then_env.iter() {
+        match else_env.vars.get(sym) {
+            None => {
+                // Branch-local declaration; drop it.
+            }
+            Some(else_v) => {
+                merged.set(*sym, merge_vals(cond, then_v, else_v)?);
+            }
+        }
+    }
+    Ok(merged)
+}
+
+fn merge_vals(cond: &Expr, a: &SymVal, b: &SymVal) -> Result<SymVal> {
+    if a == b {
+        return Ok(a.clone());
+    }
+    match (a, b) {
+        (SymVal::Scalar(ea), SymVal::Scalar(eb)) => Ok(SymVal::Scalar(constant_fold(&Expr::ite(
+            cond.clone(),
+            ea.clone(),
+            eb.clone(),
+        )))),
+        (SymVal::Array(xs), SymVal::Array(ys)) if xs.len() == ys.len() => {
+            let items = xs
+                .iter()
+                .zip(ys)
+                .map(|(x, y)| merge_vals(cond, x, y))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(SymVal::Array(items))
+        }
+        _ => Err(LangError::eval(
+            "symbolic: merging differently shaped values",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::{BinOp, Interner};
+    use parsynt_lang::lexer::Lexer;
+    use parsynt_lang::parser::Parser;
+
+    /// Parse an expression fragment (fresh interner).
+    fn parse_expr(src: &str) -> Expr {
+        let mut parser = Parser::new(Lexer::new(src).tokenize().unwrap());
+        parser.parse_expr().unwrap()
+    }
+
+    #[test]
+    fn scalar_assignment_composes_expressions() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let a = i.intern("a");
+        let mut env = SymEnv::new();
+        env.set(s, SymVal::leaf(s));
+        env.set(a, SymVal::leaf(a));
+        // s = max(s + a, 0)
+        let stmt = Stmt::Assign {
+            target: LValue::var(s),
+            value: Expr::max(Expr::add(Expr::var(s), Expr::var(a)), Expr::int(0)),
+        };
+        sym_exec(&mut env, &stmt).unwrap();
+        let got = env.get(s).unwrap().as_scalar().unwrap().clone();
+        assert_eq!(
+            got,
+            Expr::max(Expr::add(Expr::var(s), Expr::var(a)), Expr::int(0))
+        );
+        // Run again: the unfolding nests.
+        sym_exec(&mut env, &stmt).unwrap();
+        let got2 = env.get(s).unwrap().as_scalar().unwrap().clone();
+        assert_eq!(got2.size(), 9);
+    }
+
+    #[test]
+    fn loop_unrolls_with_concrete_bound() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let a = i.intern("arr");
+        let j = i.intern("j");
+        let mut env = SymEnv::new();
+        env.set(s, SymVal::int(0));
+        env.set(
+            a,
+            SymVal::Array(vec![
+                SymVal::leaf(i.intern("x0")),
+                SymVal::leaf(i.intern("x1")),
+            ]),
+        );
+        // for j in 0..len(arr) { s = s + arr[j]; }
+        let stmt = Stmt::For {
+            var: j,
+            bound: Expr::Len(Box::new(Expr::var(a))),
+            body: vec![Stmt::Assign {
+                target: LValue::var(s),
+                value: Expr::add(Expr::var(s), Expr::index(Expr::var(a), Expr::var(j))),
+            }],
+        };
+        sym_exec(&mut env, &stmt).unwrap();
+        let got = env.get(s).unwrap().as_scalar().unwrap().clone();
+        // The leading zero folds away: 0 + x0 + x1 = x0 + x1.
+        let x0 = Expr::var(i.lookup("x0").unwrap());
+        let x1 = Expr::var(i.lookup("x1").unwrap());
+        assert_eq!(got, Expr::add(x0, x1));
+    }
+
+    #[test]
+    fn symbolic_condition_merges_with_ite() {
+        let mut i = Interner::new();
+        let flag = i.intern("flag");
+        let x = i.intern("x");
+        let mut env = SymEnv::new();
+        env.set(flag, SymVal::Scalar(Expr::Bool(true)));
+        env.set(x, SymVal::leaf(x));
+        // if (x < 0) { flag = false; }
+        let stmt = Stmt::If {
+            cond: Expr::bin(BinOp::Lt, Expr::var(x), Expr::int(0)),
+            then_branch: vec![Stmt::Assign {
+                target: LValue::var(flag),
+                value: Expr::Bool(false),
+            }],
+            else_branch: vec![],
+        };
+        sym_exec(&mut env, &stmt).unwrap();
+        let got = env.get(flag).unwrap().as_scalar().unwrap().clone();
+        assert_eq!(
+            got,
+            Expr::ite(
+                Expr::bin(BinOp::Lt, Expr::var(x), Expr::int(0)),
+                Expr::Bool(false),
+                Expr::Bool(true)
+            )
+        );
+    }
+
+    #[test]
+    fn indexed_assignment_updates_symbolic_array() {
+        let mut i = Interner::new();
+        let rec = i.intern("rec");
+        let v = i.intern("v");
+        let mut env = SymEnv::new();
+        env.set(rec, SymVal::Array(vec![SymVal::int(0), SymVal::int(0)]));
+        env.set(v, SymVal::leaf(v));
+        let stmt = Stmt::Assign {
+            target: LValue::indexed(rec, Expr::int(1)),
+            value: Expr::add(Expr::index(Expr::var(rec), Expr::int(1)), Expr::var(v)),
+        };
+        sym_exec(&mut env, &stmt).unwrap();
+        let arr = env.get(rec).unwrap().as_array().unwrap().to_vec();
+        assert_eq!(arr[0], SymVal::int(0));
+        assert_eq!(arr[1], SymVal::Scalar(Expr::var(v)));
+    }
+
+    #[test]
+    fn symbolic_loop_bound_is_rejected() {
+        let mut i = Interner::new();
+        let n = i.intern("n");
+        let j = i.intern("j");
+        let mut env = SymEnv::new();
+        env.set(n, SymVal::leaf(n));
+        let stmt = Stmt::For {
+            var: j,
+            bound: Expr::var(n),
+            body: vec![],
+        };
+        assert!(sym_exec(&mut env, &stmt).is_err());
+    }
+
+    #[test]
+    fn branch_local_lets_are_dropped_on_merge() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let t = i.intern("t");
+        let mut env = SymEnv::new();
+        env.set(x, SymVal::leaf(x));
+        let stmt = Stmt::If {
+            cond: Expr::bin(BinOp::Gt, Expr::var(x), Expr::int(0)),
+            then_branch: vec![Stmt::Let {
+                name: t,
+                ty: parsynt_lang::Ty::Int,
+                init: Expr::int(1),
+            }],
+            else_branch: vec![],
+        };
+        sym_exec(&mut env, &stmt).unwrap();
+        assert!(env.get(t).is_err());
+    }
+
+    #[test]
+    fn parse_expr_helper_smoke() {
+        let e = parse_expr("1 + 2");
+        assert_eq!(constant_fold(&e), Expr::Int(3));
+    }
+}

@@ -1,0 +1,74 @@
+//! Robustness tests of the normalizer: termination within budget on
+//! pathological inputs and graceful behaviour at the search caps. The
+//! paper's §8 complexity analysis bounds the search by a strictly
+//! decreasing cost; these tests pin the engineering counterparts
+//! (expansion caps, size caps) that keep the heuristic "lightning fast".
+
+use parsynt_lang::ast::{BinOp, Expr, Interner, Sym};
+use parsynt_rewrite::cost::{Phase1Cost, RecursiveCost};
+use parsynt_rewrite::normalize::Normalizer;
+use std::time::Instant;
+
+/// A deeply nested alternating min/max/add tower over one state and many
+/// input variables — lots of applicable rules at every node.
+fn pathological(depth: usize) -> (Expr, Sym) {
+    let mut interner = Interner::new();
+    let s = interner.intern("s");
+    let mut e = Expr::var(s);
+    for i in 0..depth {
+        let x = Expr::var(interner.intern(&format!("x{i}")));
+        e = match i % 3 {
+            0 => Expr::max(Expr::add(e, x), Expr::int(0)),
+            1 => Expr::min(Expr::add(e, x.clone()), Expr::sub(x, Expr::int(1))),
+            _ => Expr::add(Expr::max(e, Expr::int(1)), x),
+        };
+    }
+    (e, s)
+}
+
+#[test]
+fn normalizer_terminates_quickly_on_deep_towers() {
+    let (e, s) = pathological(24);
+    let cost = Phase1Cost::new(move |x: Sym| x == s);
+    let start = Instant::now();
+    let out = Normalizer::new().run(&e, &cost);
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "normalization must stay fast; took {:?}",
+        start.elapsed()
+    );
+    assert!(out.expansions <= 3000, "expansion cap respected");
+}
+
+#[test]
+fn size_cap_prevents_blowup() {
+    // Repeated distribution can double expression size; the size cap
+    // must keep enqueued candidates bounded.
+    let (e, s) = pathological(40);
+    let cost = RecursiveCost::new(BinOp::Max, 3, move |x: Sym| x == s);
+    let out = Normalizer::new().with_max_expansions(500).run(&e, &cost);
+    assert!(out.best.size() <= 300, "result exceeds the size cap");
+}
+
+#[test]
+fn zero_budget_returns_the_input() {
+    let (e, s) = pathological(6);
+    let cost = Phase1Cost::new(move |x: Sym| x == s);
+    let out = Normalizer::new().with_max_expansions(0).run(&e, &cost);
+    // With no expansions allowed, the (constant-folded) input is best.
+    assert_eq!(out.expansions, 0);
+    assert_eq!(
+        out.best,
+        parsynt_rewrite::rules::constant_fold(&e)
+    );
+}
+
+#[test]
+fn determinism_across_runs_on_pathological_input() {
+    let (e, s) = pathological(18);
+    let cost = Phase1Cost::new(move |x: Sym| x == s);
+    let a = Normalizer::new().run(&e, &cost);
+    let b = Normalizer::new().run(&e, &cost);
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.expansions, b.expansions);
+}

@@ -1,0 +1,387 @@
+//! The parallel executors: work-stealing and static scheduling.
+
+use crate::task::{DncTask, MapOnlyTask};
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scheduling backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// TBB-flavoured: grain-sized tasks on per-worker deques with
+    /// stealing. Better load balance, slightly higher overhead.
+    WorkStealing,
+    /// OpenMP-flavoured static scheduling: one contiguous chunk per
+    /// thread, no stealing.
+    Static,
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Grain size in items (the paper's experiments use 50k elements).
+    /// Only the work-stealing backend uses it.
+    pub grain: usize,
+    /// Scheduling backend.
+    pub backend: Backend,
+}
+
+impl RunConfig {
+    /// A work-stealing configuration with the paper's 50k grain.
+    pub fn work_stealing(threads: usize) -> Self {
+        RunConfig {
+            threads,
+            grain: 50_000,
+            backend: Backend::WorkStealing,
+        }
+    }
+
+    /// A static-scheduling configuration.
+    pub fn static_schedule(threads: usize) -> Self {
+        RunConfig {
+            threads,
+            grain: 50_000,
+            backend: Backend::Static,
+        }
+    }
+
+    /// Override the grain size.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+}
+
+/// Run the task sequentially (the baseline all speedups are relative
+/// to).
+pub fn run_sequential<T: DncTask>(task: &T, data: &[T::Item]) -> T::Acc {
+    task.work(data)
+}
+
+/// Run the task in parallel according to `config`.
+///
+/// Equivalent to `task.work(data)` whenever the join satisfies the
+/// homomorphism law; chunk results are always joined in input order, so
+/// non-commutative joins are safe.
+pub fn run_parallel<T: DncTask>(task: &T, data: &[T::Item], config: RunConfig) -> T::Acc {
+    let threads = config.threads.max(1);
+    if threads == 1 || data.len() <= config.grain {
+        return task.work(data);
+    }
+    match config.backend {
+        Backend::Static => run_static(task, data, threads),
+        Backend::WorkStealing => run_stealing(task, data, threads, config.grain),
+    }
+}
+
+/// Static scheduling: exactly one contiguous chunk per thread, results
+/// joined in order.
+fn run_static<T: DncTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
+    let n = data.len();
+    let parts = threads.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    let partials: Vec<T::Acc> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || task.work(&data[lo..hi])))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    partials
+        .into_iter()
+        .reduce(|l, r| task.join(l, r))
+        .unwrap_or_else(|| task.identity())
+}
+
+/// Work-stealing execution: the input is cut into grain-sized tasks,
+/// dealt round-robin onto per-worker deques; idle workers steal. Each
+/// chunk's result lands in an index-ordered slot so the final reduction
+/// preserves input order.
+fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: usize) -> T::Acc {
+    let n = data.len();
+    let grain = grain.max(1);
+    let num_chunks = n.div_ceil(grain);
+    if num_chunks <= 1 {
+        return task.work(data);
+    }
+
+    // Per-worker deques seeded round-robin, like a TBB arena.
+    let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+    for chunk in 0..num_chunks {
+        workers[chunk % threads].push(chunk);
+    }
+
+    let remaining = AtomicUsize::new(num_chunks);
+    let slots: Vec<Mutex<Option<T::Acc>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for worker in workers {
+            let stealers = &stealers;
+            let remaining = &remaining;
+            let slots = &slots;
+            scope.spawn(move || {
+                loop {
+                    // Drain the local deque first, then steal.
+                    let chunk = worker.pop().or_else(|| {
+                        stealers.iter().find_map(|s| loop {
+                            match s.steal() {
+                                Steal::Success(c) => return Some(c),
+                                Steal::Empty => return None,
+                                Steal::Retry => continue,
+                            }
+                        })
+                    });
+                    let Some(chunk) = chunk else {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                        // Yield rather than spin: on oversubscribed (or
+                        // single-core) hosts a spinning idler starves the
+                        // workers that still hold chunks.
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let lo = chunk * grain;
+                    let hi = (lo + grain).min(n);
+                    let acc = task.work(&data[lo..hi]);
+                    *slots[chunk].lock() = Some(acc);
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("chunk computed"))
+        .reduce(|l, r| task.join(l, r))
+        .unwrap_or_else(|| task.identity())
+}
+
+/// Join a list of chunk partials as a balanced binary tree, with each
+/// round's joins executed in parallel. For `c` chunks this takes
+/// `⌈log₂ c⌉` parallel rounds instead of `c − 1` sequential joins —
+/// relevant when the join itself is expensive (the looped joins of the
+/// mtls family, `O(m)` each).
+///
+/// Requires only associativity (which every synthesized join has by
+/// Definition 3.2): adjacent partials are always joined in input order.
+pub fn reduce_tree<T: DncTask>(task: &T, mut partials: Vec<T::Acc>) -> T::Acc {
+    while partials.len() > 1 {
+        let leftover = if partials.len() % 2 == 1 { partials.pop() } else { None };
+        let mut iter = partials.into_iter();
+        let mut pairs: Vec<(T::Acc, T::Acc)> = Vec::new();
+        while let (Some(l), Some(r)) = (iter.next(), iter.next()) {
+            pairs.push((l, r));
+        }
+        partials = std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(l, r)| scope.spawn(move || task.join(l, r)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join worker panicked"))
+                .collect()
+        });
+        if let Some(last) = leftover {
+            partials.push(last);
+        }
+    }
+    partials
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| task.identity())
+}
+
+/// Run a map-only task: the `map` phase over all items in parallel
+/// (static partition), then the sequential `fold` in input order.
+pub fn run_map_only<T: MapOnlyTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
+    let threads = threads.max(1);
+    if threads == 1 || data.len() < 2 {
+        return data
+            .iter()
+            .fold(task.init(), |acc, item| task.fold(acc, task.map(item)));
+    }
+    let n = data.len();
+    let parts = threads.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    let mapped: Vec<Vec<T::Mapped>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || data[lo..hi].iter().map(|x| task.map(x)).collect())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut acc = task.init();
+    for block in mapped {
+        for m in block {
+            acc = task.fold(acc, m);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sum task: trivially a homomorphism.
+    struct Sum;
+    impl DncTask for Sum {
+        type Item = i64;
+        type Acc = i64;
+        fn identity(&self) -> i64 {
+            0
+        }
+        fn work(&self, chunk: &[i64]) -> i64 {
+            chunk.iter().sum()
+        }
+        fn join(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    /// A deliberately non-commutative join: string-like concatenation
+    /// encoded as (first, last) of the chunk — detects any executor that
+    /// reorders chunks.
+    struct FirstLast;
+    impl DncTask for FirstLast {
+        type Item = i64;
+        type Acc = Vec<i64>;
+        fn identity(&self) -> Vec<i64> {
+            Vec::new()
+        }
+        fn work(&self, chunk: &[i64]) -> Vec<i64> {
+            chunk.to_vec()
+        }
+        fn join(&self, mut l: Vec<i64>, r: Vec<i64>) -> Vec<i64> {
+            l.extend(r);
+            l
+        }
+    }
+
+    fn data(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|x| (x * 7919) % 101 - 50).collect()
+    }
+
+    #[test]
+    fn static_backend_matches_sequential() {
+        let d = data(10_000);
+        let seq = run_sequential(&Sum, &d);
+        for threads in [1, 2, 4, 16] {
+            let cfg = RunConfig::static_schedule(threads).with_grain(128);
+            assert_eq!(run_parallel(&Sum, &d, cfg), seq);
+        }
+    }
+
+    #[test]
+    fn stealing_backend_matches_sequential() {
+        let d = data(10_000);
+        let seq = run_sequential(&Sum, &d);
+        for threads in [2, 3, 8] {
+            let cfg = RunConfig::work_stealing(threads).with_grain(97);
+            assert_eq!(run_parallel(&Sum, &d, cfg), seq);
+        }
+    }
+
+    #[test]
+    fn chunk_order_is_preserved_for_noncommutative_joins() {
+        let d = data(5_000);
+        for backend in [Backend::Static, Backend::WorkStealing] {
+            let cfg = RunConfig {
+                threads: 4,
+                grain: 64,
+                backend,
+            };
+            let out = run_parallel(&FirstLast, &d, cfg);
+            assert_eq!(out, d, "backend {backend:?} reordered chunks");
+        }
+    }
+
+    #[test]
+    fn small_inputs_short_circuit() {
+        let d = data(10);
+        let cfg = RunConfig::work_stealing(8); // grain 50k > len
+        assert_eq!(run_parallel(&Sum, &d, cfg), run_sequential(&Sum, &d));
+    }
+
+    struct CountPositive;
+    impl MapOnlyTask for CountPositive {
+        type Item = i64;
+        type Mapped = bool;
+        type Acc = usize;
+        fn init(&self) -> usize {
+            0
+        }
+        fn map(&self, item: &i64) -> bool {
+            *item > 0
+        }
+        fn fold(&self, acc: usize, mapped: bool) -> usize {
+            acc + usize::from(mapped)
+        }
+    }
+
+    #[test]
+    fn map_only_matches_sequential_fold() {
+        let d = data(3_333);
+        let seq = run_map_only(&CountPositive, &d, 1);
+        for threads in [2, 5, 9] {
+            assert_eq!(run_map_only(&CountPositive, &d, threads), seq);
+        }
+    }
+
+    #[test]
+    fn tree_reduction_matches_sequential_fold() {
+        let d = data(4_000);
+        // Non-commutative task: order must be preserved through the tree.
+        let partials: Vec<Vec<i64>> = d.chunks(173).map(|c| FirstLast.work(c)).collect();
+        let tree = reduce_tree(&FirstLast, partials);
+        assert_eq!(tree, d);
+        // And for odd chunk counts.
+        let partials: Vec<Vec<i64>> = d.chunks(313).map(|c| FirstLast.work(c)).collect();
+        assert_eq!(partials.len() % 2, 1);
+        assert_eq!(reduce_tree(&FirstLast, partials), d);
+    }
+
+    #[test]
+    fn tree_reduction_of_empty_and_singleton() {
+        assert_eq!(reduce_tree(&Sum, vec![]), 0);
+        assert_eq!(reduce_tree(&Sum, vec![41]), 41);
+    }
+
+    #[test]
+    fn zero_and_one_element_inputs() {
+        let empty: Vec<i64> = Vec::new();
+        let cfg = RunConfig::work_stealing(4).with_grain(1);
+        assert_eq!(run_parallel(&Sum, &empty, cfg), 0);
+        assert_eq!(run_parallel(&Sum, &[42], cfg), 42);
+    }
+}

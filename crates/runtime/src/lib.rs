@@ -1,0 +1,27 @@
+//! # parsynt-runtime
+//!
+//! A divide-and-conquer parallel execution runtime for the skeletons
+//! ParSynt synthesizes: the programmer (or the synthesizer) supplies the
+//! *split* (implicitly: inverse of concatenation over the outer
+//! dimension), the *work* (the sequential loop on a chunk) and the
+//! *join* (the synthesized `⊙`), and the runtime schedules chunks over
+//! OS threads.
+//!
+//! Two scheduling backends reproduce the paper's §9 comparison:
+//!
+//! * [`Backend::WorkStealing`] — TBB-flavoured: the input is divided
+//!   into grain-sized tasks, distributed over per-worker deques, and
+//!   idle workers steal; partial results join in chunk order (joins need
+//!   not be commutative).
+//! * [`Backend::Static`] — OpenMP-flavoured static scheduling: exactly
+//!   one contiguous chunk per thread.
+//!
+//! A [map-only executor](run_map_only) covers the Prop. 4.3 case where
+//! the inner loop nest parallelizes but the outer fold stays sequential
+//! (balanced parentheses, §2.1).
+
+pub mod executor;
+pub mod task;
+
+pub use executor::{reduce_tree, run_map_only, run_parallel, run_sequential, Backend, RunConfig};
+pub use task::{DncTask, MapOnlyTask};

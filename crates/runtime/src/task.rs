@@ -1,0 +1,49 @@
+//! The divide-and-conquer task traits.
+
+/// A divide-and-conquer computation over a slice of items: the three
+/// components of the skeleton (§1: "the programmer has to specify a
+/// split, a work, and a join function"; the split is fixed to the
+/// inverse of concatenation).
+///
+/// Joins must satisfy the homomorphism law
+/// `work(x • y) = join(work(x), work(y))` for the executors to be
+/// equivalent to the sequential run; they need **not** be commutative —
+/// the runtime always joins adjacent chunks in order.
+pub trait DncTask: Sync {
+    /// Input element type (a row/plane of the outer dimension).
+    type Item: Sync;
+    /// The accumulator (the loop state `D`, including lifted
+    /// auxiliaries).
+    type Acc: Send;
+
+    /// `work([])` — the state on an empty chunk (the unit of the join).
+    fn identity(&self) -> Self::Acc;
+
+    /// The sequential single-pass loop on one chunk.
+    fn work(&self, chunk: &[Self::Item]) -> Self::Acc;
+
+    /// The synthesized join `⊙`, combining adjacent chunk results.
+    fn join(&self, left: Self::Acc, right: Self::Acc) -> Self::Acc;
+}
+
+/// A map-only parallelization (Prop. 4.3): the inner loop nest runs in
+/// parallel as `map`, the outer fold stays sequential.
+pub trait MapOnlyTask: Sync {
+    /// Input element type.
+    type Item: Sync;
+    /// The inner nest's from-zero result `𝒢(0̸)(δ)`.
+    type Mapped: Send;
+    /// The outer loop state.
+    type Acc: Send;
+
+    /// The initial outer state.
+    fn init(&self) -> Self::Acc;
+
+    /// The inner loop nest from the fixed initial state (the parallel
+    /// part).
+    fn map(&self, item: &Self::Item) -> Self::Mapped;
+
+    /// The sequential combine `⊚` folding one mapped result into the
+    /// outer state.
+    fn fold(&self, acc: Self::Acc, mapped: Self::Mapped) -> Self::Acc;
+}

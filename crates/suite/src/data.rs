@@ -1,0 +1,117 @@
+//! Native input generation for the performance experiments (Figure 9).
+//!
+//! Inputs are sized by *total scalar elements* so speedup measurements
+//! are comparable across dimensionalities (the paper uses ~2bn elements
+//! on a 64-core machine; the harness defaults to laptop-scale sizes).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A 1-dimensional input of `n` elements in `[lo, hi]`.
+pub fn gen_1d(n: usize, seed: u64, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// A balanced-ish bracket stream (`1` = `(`, `-1` = `)`), slightly
+/// biased toward opens so interesting prefixes appear.
+pub fn gen_brackets(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| if rng.gen_ratio(52, 100) { 1 } else { -1 })
+        .collect()
+}
+
+/// `n` integer pairs (ranges) with endpoints in `[lo, hi]`.
+pub fn gen_pairs(n: usize, seed: u64, lo: i64, hi: i64) -> Vec<[i64; 2]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = rng.gen_range(lo..=hi);
+            let b = rng.gen_range(lo..=hi);
+            [a.min(b), a.max(b)]
+        })
+        .collect()
+}
+
+/// A 2-dimensional input with `total / cols` rows of width `cols`.
+pub fn gen_2d(total: usize, seed: u64, cols: usize, lo: i64, hi: i64) -> Vec<Vec<i64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rows = (total / cols).max(1);
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(lo..=hi)).collect())
+        .collect()
+}
+
+/// A strictly-increasing-columns 2-D input *perturbed*: mostly
+/// increasing so gradient checks exercise both outcomes.
+pub fn gen_2d_mostly_increasing(total: usize, seed: u64, cols: usize) -> Vec<Vec<i64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rows = (total / cols).max(1);
+    let mut out: Vec<Vec<i64>> = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let row: Vec<i64> = (0..cols)
+            .map(|_| (i as i64 + 1) * 10 + rng.gen_range(0..9))
+            .collect();
+        out.push(row);
+    }
+    out
+}
+
+/// A 3-dimensional input with `total / (rows * cols)` planes.
+pub fn gen_3d(
+    total: usize,
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    lo: i64,
+    hi: i64,
+) -> Vec<Vec<Vec<i64>>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let planes = (total / (rows * cols)).max(1);
+    (0..planes)
+        .map(|_| {
+            (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(lo..=hi)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respect_total_elements() {
+        let d2 = gen_2d(1000, 1, 10, -4, 4);
+        assert_eq!(d2.len(), 100);
+        assert!(d2.iter().all(|r| r.len() == 10));
+        let d3 = gen_3d(1000, 1, 5, 10, -4, 4);
+        assert_eq!(d3.len(), 20);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(gen_1d(100, 7, -4, 4), gen_1d(100, 7, -4, 4));
+        assert_ne!(gen_1d(100, 7, -4, 4), gen_1d(100, 8, -4, 4));
+    }
+
+    #[test]
+    fn pairs_are_ordered() {
+        for [lo, hi] in gen_pairs(200, 3, -50, 50) {
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn brackets_are_plus_minus_one() {
+        assert!(gen_brackets(500, 5).iter().all(|&c| c == 1 || c == -1));
+    }
+
+    #[test]
+    fn mostly_increasing_has_positive_values() {
+        let d = gen_2d_mostly_increasing(500, 2, 5);
+        assert!(d.iter().flatten().all(|&x| x > 0));
+    }
+}

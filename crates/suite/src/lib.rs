@@ -1,0 +1,45 @@
+//! # parsynt-suite
+//!
+//! The complete benchmark suite of the paper's evaluation (Table 1,
+//! Figure 9): 27 nested-loop programs over 1-, 2- and 3-dimensional
+//! read-only collections, each provided as
+//!
+//! * a **mini-language source** fed to the synthesis pipeline (the
+//!   Table 1 experiment: summarization time, auxiliary count, join
+//!   synthesis time),
+//! * a **native Rust sequential implementation** (the Figure 9
+//!   baseline), and
+//! * a **native divide-and-conquer implementation** whose map and join
+//!   mirror the synthesized solution, plugged into `parsynt-runtime`
+//!   (the Figure 9 speedup measurement).
+//!
+//! Cross-checks in the test suite tie the three together: the native
+//! sequential result equals the interpreted source on shared inputs, and
+//! the native parallel result equals the native sequential one.
+//!
+//! Some benchmark *definitions* are reconstructions: the paper names its
+//! benchmarks but does not give their code (the artifact link is dead);
+//! DESIGN.md documents each reconstruction and any simplification.
+
+pub mod data;
+pub mod native;
+pub mod oracle;
+pub mod sources;
+
+pub use native::{workload, Workload};
+pub use sources::{all_benchmarks, benchmark, Benchmark, Dimensionality, ExpectedOutcome};
+
+/// Paper-reported numbers for one benchmark (Table 1), used by the
+/// harness to print paper-vs-measured columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNumbers {
+    /// Summarization time in seconds.
+    pub summarization_s: f64,
+    /// Number of auxiliary accumulators ("–" = 0); `aux_memoryless`
+    /// marks the starred (memoryless-lift) entries.
+    pub aux: usize,
+    /// Whether the paper's aux count is starred (memoryless lift).
+    pub aux_memoryless: bool,
+    /// Join synthesis time in seconds (`None` = ✗ or †).
+    pub join_s: Option<f64>,
+}

@@ -1,0 +1,193 @@
+//! Native Rust implementations of the benchmarks, used for the
+//! performance experiments (Figure 9 and the OpenMP-vs-TBB table).
+//!
+//! Each benchmark provides a `work` (the sequential single pass on a
+//! chunk) and a `join` that mirrors the synthesized solution; the
+//! `parsynt-runtime` executors schedule them. Results are reduced to a
+//! `u64` digest so sequential/parallel agreement can be asserted without
+//! exposing per-benchmark state types.
+
+pub mod one_d;
+pub mod three_d;
+pub mod two_d;
+
+use parsynt_runtime::{
+    run_map_only, run_parallel, run_sequential, DncTask, MapOnlyTask, RunConfig,
+};
+
+/// A prepared (input-materialized) workload instance.
+pub trait Prepared: Sync + Send {
+    /// Run the sequential baseline, returning a digest of the result.
+    fn sequential(&self) -> u64;
+    /// Run the divide-and-conquer parallelization (or, for map-only
+    /// benchmarks, the parallel map) with the given configuration.
+    fn parallel(&self, cfg: RunConfig) -> u64;
+    /// Number of outer elements (chunks are split along this).
+    fn outer_len(&self) -> usize;
+}
+
+/// A registered performance workload.
+pub struct Workload {
+    /// Benchmark id (matches [`crate::sources`]).
+    pub id: &'static str,
+    /// Whether the parallelization is map-only (bp).
+    pub map_only: bool,
+    /// Materialize inputs with roughly `total` scalar elements.
+    pub prepare: fn(total: usize, seed: u64) -> Box<dyn Prepared>,
+}
+
+/// Generic [`DncTask`] over plain function pointers — each benchmark
+/// supplies `identity` / `work` / `join`.
+pub struct FnTask<I, A> {
+    /// `work([])`.
+    pub identity: fn() -> A,
+    /// The sequential chunk loop.
+    pub work: fn(&[I]) -> A,
+    /// The synthesized join.
+    pub join: fn(A, A) -> A,
+}
+
+impl<I: Sync, A: Send> DncTask for FnTask<I, A> {
+    type Item = I;
+    type Acc = A;
+    fn identity(&self) -> A {
+        (self.identity)()
+    }
+    fn work(&self, chunk: &[I]) -> A {
+        (self.work)(chunk)
+    }
+    fn join(&self, left: A, right: A) -> A {
+        (self.join)(left, right)
+    }
+}
+
+/// A prepared divide-and-conquer workload.
+pub struct PreparedDnc<I: Sync + Send, A: Send> {
+    /// The materialized input.
+    pub data: Vec<I>,
+    /// The task functions.
+    pub task: FnTask<I, A>,
+    /// Digest of the accumulator (for agreement checks).
+    pub digest: fn(&A) -> u64,
+}
+
+impl<I: Sync + Send, A: Send> Prepared for PreparedDnc<I, A> {
+    fn sequential(&self) -> u64 {
+        (self.digest)(&run_sequential(&self.task, &self.data))
+    }
+    fn parallel(&self, cfg: RunConfig) -> u64 {
+        (self.digest)(&run_parallel(&self.task, &self.data, cfg))
+    }
+    fn outer_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Generic [`MapOnlyTask`] over function pointers.
+pub struct FnMapTask<I, M, A> {
+    /// The initial outer state.
+    pub init: fn() -> A,
+    /// The parallel inner nest from the zero state.
+    pub map: fn(&I) -> M,
+    /// The sequential combine `⊚`.
+    pub fold: fn(A, M) -> A,
+}
+
+impl<I: Sync, M: Send, A: Send> MapOnlyTask for FnMapTask<I, M, A> {
+    type Item = I;
+    type Mapped = M;
+    type Acc = A;
+    fn init(&self) -> A {
+        (self.init)()
+    }
+    fn map(&self, item: &I) -> M {
+        (self.map)(item)
+    }
+    fn fold(&self, acc: A, mapped: M) -> A {
+        (self.fold)(acc, mapped)
+    }
+}
+
+/// A prepared map-only workload.
+pub struct PreparedMapOnly<I: Sync + Send, M: Send, A: Send> {
+    /// The materialized input.
+    pub data: Vec<I>,
+    /// The task functions.
+    pub task: FnMapTask<I, M, A>,
+    /// Digest of the final state.
+    pub digest: fn(&A) -> u64,
+}
+
+impl<I: Sync + Send, M: Send, A: Send> Prepared for PreparedMapOnly<I, M, A> {
+    fn sequential(&self) -> u64 {
+        (self.digest)(&run_map_only(&self.task, &self.data, 1))
+    }
+    fn parallel(&self, cfg: RunConfig) -> u64 {
+        (self.digest)(&run_map_only(&self.task, &self.data, cfg.threads))
+    }
+    fn outer_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// All performance workloads (Figure 9's 26 curves: every benchmark
+/// except LCS, which does not parallelize).
+pub fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    out.extend(two_d::workloads());
+    out.extend(three_d::workloads());
+    out.extend(one_d::workloads());
+    out
+}
+
+/// Look up a workload by benchmark id.
+pub fn workload(id: &str) -> Option<Workload> {
+    workloads().into_iter().find(|w| w.id == id)
+}
+
+/// Fold an `i64` into a digest.
+pub(crate) fn mix(acc: u64, v: i64) -> u64 {
+    acc.rotate_left(7) ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Digest a slice of `i64`s.
+pub(crate) fn digest_slice(values: &[i64]) -> u64 {
+    values.iter().fold(0u64, |acc, &v| mix(acc, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_parallelizable_benchmarks() {
+        let ids: Vec<&str> = workloads().iter().map(|w| w.id).collect();
+        assert_eq!(ids.len(), 26, "26 Figure-9 curves, got {ids:?}");
+        for b in crate::sources::all_benchmarks() {
+            if b.id == "lcs" {
+                assert!(!ids.contains(&b.id), "lcs does not parallelize");
+            } else {
+                assert!(ids.contains(&b.id), "missing workload for `{}`", b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_parallel_matches_sequential() {
+        for w in workloads() {
+            let prepared = (w.prepare)(20_000, 42);
+            let seq = prepared.sequential();
+            for threads in [2, 4] {
+                let cfg = RunConfig::work_stealing(threads).with_grain(16);
+                assert_eq!(
+                    prepared.parallel(cfg),
+                    seq,
+                    "workload `{}` diverges at {threads} threads",
+                    w.id
+                );
+            }
+            let cfg = RunConfig::static_schedule(3).with_grain(16);
+            assert_eq!(prepared.parallel(cfg), seq, "workload `{}` (static)", w.id);
+        }
+    }
+}

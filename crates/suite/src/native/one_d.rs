@@ -1,0 +1,293 @@
+//! Native implementations of the 1-dimensional benchmarks (simple loops
+//! over scalars or range pairs). Several have array-shaped state (mode)
+//! or non-commutative boundary-aware joins (max-dist, the range
+//! counters).
+
+use super::{digest_slice, mix, FnTask, PreparedDnc, Workload};
+use crate::data::{gen_1d, gen_brackets, gen_pairs};
+
+// ------------------------------------------------- balanced substrings
+
+/// `(matched, open, closeun)` — matched bracket pairs; `open` and
+/// `closeun` are the unmatched-ends auxiliaries the join consumes.
+type BalAcc = (i64, i64, i64);
+
+fn bal_work(chunk: &[i64]) -> BalAcc {
+    let (mut matched, mut open, mut closeun) = (0i64, 0i64, 0i64);
+    for &c in chunk {
+        if c == 1 {
+            open += 1;
+        } else if open > 0 {
+            open -= 1;
+            matched += 1;
+        } else {
+            closeun += 1;
+        }
+    }
+    (matched, open, closeun)
+}
+
+fn bal_join(l: BalAcc, r: BalAcc) -> BalAcc {
+    let bridged = l.1.min(r.2);
+    (
+        l.0 + r.0 + bridged,
+        r.1 + (l.1 - bridged),
+        l.2 + (r.2 - bridged),
+    )
+}
+
+fn balanced_substrings_workload() -> Workload {
+    Workload {
+        id: "balanced_substrings",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: gen_brackets(total, seed),
+                task: FnTask {
+                    identity: || (0, 0, 0),
+                    work: bal_work,
+                    join: bal_join,
+                },
+                digest: |acc| acc.0 as u64,
+            })
+        },
+    }
+}
+
+// --------------------------------------------------------------- mode
+
+const DOMAIN: usize = 8;
+
+/// `(counts, mode)` — the counts array makes the summarized depth
+/// k = 2, so the join loops (zip-add then recompute the max).
+type ModeAcc = (Vec<i64>, i64);
+
+fn mode_work(chunk: &[i64]) -> ModeAcc {
+    let mut counts = vec![0i64; DOMAIN];
+    let mut mode = 0;
+    for &v in chunk {
+        let idx = v as usize;
+        counts[idx] += 1;
+        mode = mode.max(counts[idx]);
+    }
+    (counts, mode)
+}
+
+fn mode_join(l: ModeAcc, r: ModeAcc) -> ModeAcc {
+    let counts: Vec<i64> = l.0.iter().zip(&r.0).map(|(a, b)| a + b).collect();
+    let mode = counts.iter().copied().max().unwrap_or(0);
+    (counts, mode)
+}
+
+fn mode_workload() -> Workload {
+    Workload {
+        id: "mode",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: gen_1d(total, seed, 0, DOMAIN as i64 - 1),
+                task: FnTask {
+                    identity: || (vec![0; DOMAIN], 0),
+                    work: mode_work,
+                    join: mode_join,
+                },
+                digest: |acc| mix(acc.1 as u64, digest_slice(&acc.0) as i64),
+            })
+        },
+    }
+}
+
+// ----------------------------------------------------------- max-dist
+
+/// `(md, first, last, seen)` — maximum absolute adjacent difference;
+/// `first`/`last` are the boundary auxiliaries.
+type MdAcc = (i64, i64, i64, bool);
+
+fn max_dist_work(chunk: &[i64]) -> MdAcc {
+    let mut md = 0;
+    for w in chunk.windows(2) {
+        md = md.max((w[1] - w[0]).abs());
+    }
+    match (chunk.first(), chunk.last()) {
+        (Some(&f), Some(&l)) => (md, f, l, true),
+        _ => (0, 0, 0, false),
+    }
+}
+
+fn max_dist_join(l: MdAcc, r: MdAcc) -> MdAcc {
+    if !l.3 {
+        return r;
+    }
+    if !r.3 {
+        return l;
+    }
+    (l.0.max(r.0).max((r.1 - l.2).abs()), l.1, r.2, true)
+}
+
+fn max_dist_workload() -> Workload {
+    Workload {
+        id: "max_dist",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: gen_1d(total, seed, -50, 50),
+                task: FnTask {
+                    identity: || (0, 0, 0, false),
+                    work: max_dist_work,
+                    join: max_dist_join,
+                },
+                digest: |acc| acc.0 as u64,
+            })
+        },
+    }
+}
+
+// ------------------------------------------------- range-pair counters
+
+/// `(cnt, first, last, seen)` where `first`/`last` are boundary range
+/// pairs; the per-benchmark predicate decides adjacent hits.
+type RangeAcc = (i64, [i64; 2], [i64; 2], bool);
+
+fn range_work(chunk: &[[i64; 2]], pred: fn(&[i64; 2], &[i64; 2]) -> bool) -> RangeAcc {
+    let mut cnt = 0;
+    for w in chunk.windows(2) {
+        if pred(&w[0], &w[1]) {
+            cnt += 1;
+        }
+    }
+    match (chunk.first(), chunk.last()) {
+        (Some(&f), Some(&l)) => (cnt, f, l, true),
+        _ => (0, [0, 0], [0, 0], false),
+    }
+}
+
+fn range_join(l: RangeAcc, r: RangeAcc, pred: fn(&[i64; 2], &[i64; 2]) -> bool) -> RangeAcc {
+    if !l.3 {
+        return r;
+    }
+    if !r.3 {
+        return l;
+    }
+    let bridge = i64::from(pred(&l.2, &r.1));
+    (l.0 + r.0 + bridge, l.1, r.2, true)
+}
+
+fn intersects(p: &[i64; 2], c: &[i64; 2]) -> bool {
+    p[0].max(c[0]) <= p[1].min(c[1])
+}
+
+fn increases(p: &[i64; 2], c: &[i64; 2]) -> bool {
+    c[0] > p[0]
+}
+
+fn overlaps_extending(p: &[i64; 2], c: &[i64; 2]) -> bool {
+    c[0] <= p[1] && c[1] > p[1]
+}
+
+fn nested(p: &[i64; 2], c: &[i64; 2]) -> bool {
+    p[0] < c[0] && c[1] < p[1]
+}
+
+macro_rules! range_workload {
+    ($fn_name:ident, $id:literal, $pred:ident) => {
+        fn $fn_name() -> Workload {
+            Workload {
+                id: $id,
+                map_only: false,
+                prepare: |total, seed| {
+                    Box::new(PreparedDnc {
+                        data: gen_pairs(total / 2, seed, -50, 50),
+                        task: FnTask {
+                            identity: || (0, [0, 0], [0, 0], false),
+                            work: |chunk| range_work(chunk, $pred),
+                            join: |l, r| range_join(l, r, $pred),
+                        },
+                        digest: |acc| acc.0 as u64,
+                    })
+                },
+            }
+        }
+    };
+}
+
+range_workload!(
+    intersecting_ranges_workload,
+    "intersecting_ranges",
+    intersects
+);
+range_workload!(increasing_ranges_workload, "increasing_ranges", increases);
+range_workload!(
+    overlapping_ranges_workload,
+    "overlapping_ranges",
+    overlaps_extending
+);
+range_workload!(pyramid_ranges_workload, "pyramid_ranges", nested);
+
+/// The 1-D workload registry.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        balanced_substrings_workload(),
+        mode_workload(),
+        max_dist_workload(),
+        intersecting_ranges_workload(),
+        increasing_ranges_workload(),
+        overlapping_ranges_workload(),
+        pyramid_ranges_workload(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_join_agrees_with_whole() {
+        // "(()" + "))(" = "(()))(" — matched pairs: 2.
+        let x = [1, 1, -1];
+        let y = [-1, -1, 1];
+        let whole: Vec<i64> = x.iter().chain(&y).copied().collect();
+        assert_eq!(bal_join(bal_work(&x), bal_work(&y)), bal_work(&whole));
+        assert_eq!(bal_work(&whole).0, 2);
+    }
+
+    #[test]
+    fn mode_join_recomputes_max() {
+        let x = [1, 1, 2];
+        let y = [2, 2, 3];
+        let whole: Vec<i64> = x.iter().chain(&y).copied().collect();
+        assert_eq!(mode_join(mode_work(&x), mode_work(&y)), mode_work(&whole));
+        assert_eq!(mode_work(&whole).1, 3); // three 2s
+    }
+
+    #[test]
+    fn max_dist_join_catches_boundary() {
+        let x = [0, 1, 2];
+        let y = [50, 51];
+        let joined = max_dist_join(max_dist_work(&x), max_dist_work(&y));
+        assert_eq!(joined.0, 48); // |50 - 2|
+    }
+
+    #[test]
+    fn range_predicates() {
+        assert!(intersects(&[0, 5], &[3, 8]));
+        assert!(!intersects(&[0, 2], &[3, 8]));
+        assert!(increases(&[0, 5], &[1, 2]));
+        assert!(overlaps_extending(&[0, 5], &[3, 8]));
+        assert!(!overlaps_extending(&[0, 5], &[1, 4]));
+        assert!(nested(&[0, 9], &[2, 5]));
+        assert!(!nested(&[0, 9], &[0, 5]));
+    }
+
+    #[test]
+    fn range_join_counts_bridge_pair() {
+        let data = gen_pairs(100, 9, -20, 20);
+        for split in [1, 33, 99] {
+            let joined = range_join(
+                range_work(&data[..split], intersects),
+                range_work(&data[split..], intersects),
+                intersects,
+            );
+            assert_eq!(joined, range_work(&data, intersects), "split {split}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Native implementations of the 3-dimensional benchmarks. The divide
+//! dimension is the plane index; a plane is a row-major matrix.
+
+use super::{FnTask, PreparedDnc, Workload};
+use crate::data::gen_3d;
+
+type Plane = Vec<Vec<i64>>;
+
+const ROWS: usize = 10;
+const COLS: usize = 10;
+
+fn planes(total: usize, seed: u64) -> Vec<Plane> {
+    gen_3d(total, seed, ROWS, COLS, -50, 50)
+}
+
+fn plane_sum(p: &Plane) -> i64 {
+    p.iter().flat_map(|r| r.iter()).sum()
+}
+
+// -------------------------------------------------------- max top box
+
+/// `(cur, mtb)` — max prefix of plane sums.
+fn mtb_work(chunk: &[Plane]) -> (i64, i64) {
+    let mut cur = 0;
+    let mut mtb = 0;
+    for p in chunk {
+        cur += plane_sum(p);
+        mtb = mtb.max(cur);
+    }
+    (cur, mtb)
+}
+
+fn max_top_box_workload() -> Workload {
+    Workload {
+        id: "max_top_box",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: planes(total, seed),
+                task: FnTask {
+                    identity: || (0, 0),
+                    work: mtb_work,
+                    join: |l, r| (l.0 + r.0, l.1.max(l.0 + r.1)),
+                },
+                digest: |acc| acc.1 as u64,
+            })
+        },
+    }
+}
+
+// --------------------------------------------------------------- mbbs
+
+/// Figure 1: `(mbbs, sum)` with the lifted `aux_sum` and the
+/// Figure 1(c) join.
+fn mbbs_work(chunk: &[Plane]) -> (i64, i64) {
+    let mut mbbs = 0;
+    let mut sum = 0;
+    for p in chunk {
+        let s = plane_sum(p);
+        sum += s;
+        mbbs = (mbbs + s).max(0);
+    }
+    (mbbs, sum)
+}
+
+fn mbbs_workload() -> Workload {
+    Workload {
+        id: "mbbs",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: planes(total, seed),
+                task: FnTask {
+                    identity: || (0, 0),
+                    work: mbbs_work,
+                    join: |l, r| (r.0.max(l.0 + r.1), l.1 + r.1),
+                },
+                digest: |acc| acc.0 as u64,
+            })
+        },
+    }
+}
+
+// ---------------------------------------------------- max segment box
+
+/// Kadane over plane sums: `(cur, best, sum, pre)`.
+type MsbAcc = (i64, i64, i64, i64);
+
+fn msb_work(chunk: &[Plane]) -> MsbAcc {
+    let (mut cur, mut best, mut sum, mut pre) = (0i64, 0i64, 0i64, 0i64);
+    for p in chunk {
+        let s = plane_sum(p);
+        sum += s;
+        pre = pre.max(sum);
+        cur = (cur + s).max(0);
+        best = best.max(cur);
+    }
+    (cur, best, sum, pre)
+}
+
+fn msb_join(l: MsbAcc, r: MsbAcc) -> MsbAcc {
+    (
+        r.0.max(l.0 + r.2),
+        l.1.max(r.1).max(l.0 + r.3),
+        l.2 + r.2,
+        l.3.max(l.2 + r.3),
+    )
+}
+
+fn max_segment_box_workload() -> Workload {
+    Workload {
+        id: "max_segment_box",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: planes(total, seed),
+                task: FnTask {
+                    identity: || (0, 0, 0, 0),
+                    work: msb_work,
+                    join: msb_join,
+                },
+                digest: |acc| acc.1 as u64,
+            })
+        },
+    }
+}
+
+// ------------------------------------------------------- max left box
+
+/// `(rec, max_rec, mlb)` over per-plane row-sum vectors — the 3-D
+/// analogue of mtls (n = 3, k = 2).
+type MlbAcc = (Vec<i64>, Vec<i64>, i64);
+
+fn mlb_work(chunk: &[Plane]) -> MlbAcc {
+    let rows = chunk.first().map_or(0, Vec::len);
+    let mut rec = vec![0; rows];
+    let mut max_rec = vec![i64::MIN / 2; rows];
+    let mut mlb = 0;
+    for p in chunk {
+        for (j, row) in p.iter().enumerate() {
+            let rv: i64 = row.iter().sum();
+            rec[j] += rv;
+            max_rec[j] = max_rec[j].max(rec[j]);
+            mlb = mlb.max(rec[j]);
+        }
+    }
+    (rec, max_rec, mlb)
+}
+
+fn mlb_join(l: MlbAcc, r: MlbAcc) -> MlbAcc {
+    if l.0.is_empty() {
+        return r;
+    }
+    if r.0.is_empty() {
+        return l;
+    }
+    let mut rec = vec![0; l.0.len()];
+    let mut max_rec = vec![0; l.0.len()];
+    let mut mlb = l.2;
+    for j in 0..l.0.len() {
+        rec[j] = l.0[j] + r.0[j];
+        max_rec[j] = l.1[j].max(l.0[j] + r.1[j]);
+        mlb = mlb.max(max_rec[j]);
+    }
+    (rec, max_rec, mlb)
+}
+
+fn max_left_box_workload() -> Workload {
+    Workload {
+        id: "max_left_box",
+        map_only: false,
+        prepare: |total, seed| {
+            Box::new(PreparedDnc {
+                data: planes(total, seed),
+                task: FnTask {
+                    identity: || (Vec::new(), Vec::new(), 0),
+                    work: mlb_work,
+                    join: mlb_join,
+                },
+                digest: |acc| acc.2 as u64,
+            })
+        },
+    }
+}
+
+/// The 3-D workload registry.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        max_top_box_workload(),
+        mbbs_workload(),
+        max_segment_box_workload(),
+        max_left_box_workload(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Plane> {
+        vec![
+            vec![vec![5, -2], vec![1, 0]],
+            vec![vec![-3, -3], vec![0, 1]],
+            vec![vec![4, 4], vec![-1, 2]],
+        ]
+    }
+
+    #[test]
+    fn mbbs_join_agrees_with_whole() {
+        let data = sample();
+        for split in [1, 2] {
+            let l = mbbs_work(&data[..split]);
+            let r = mbbs_work(&data[split..]);
+            let joined = (r.0.max(l.0 + r.1), l.1 + r.1);
+            assert_eq!(joined, mbbs_work(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn mbbs_intro_example() {
+        // Figure 1's argument: b = [5], b' = [-3,3] vs [0,3] give the
+        // same mbbs(b') but different mbbs(b•b') — our lifted join
+        // resolves this through the sum auxiliary.
+        let b = vec![vec![vec![5]]];
+        let b1 = vec![vec![vec![-3]], vec![vec![3]]];
+        let b2 = vec![vec![vec![0]], vec![vec![3]]];
+        assert_eq!(mbbs_work(&b1).0, mbbs_work(&b2).0);
+        let join = |l: (i64, i64), r: (i64, i64)| (r.0.max(l.0 + r.1), l.1 + r.1);
+        let w1 = join(mbbs_work(&b), mbbs_work(&b1));
+        let w2 = join(mbbs_work(&b), mbbs_work(&b2));
+        assert_ne!(w1.0, w2.0);
+        let mut whole1 = b.clone();
+        whole1.extend(b1);
+        assert_eq!(w1.0, mbbs_work(&whole1).0);
+    }
+
+    #[test]
+    fn mlb_join_agrees_with_whole() {
+        let data = sample();
+        let joined = mlb_join(mlb_work(&data[..2]), mlb_work(&data[2..]));
+        let whole = mlb_work(&data);
+        assert_eq!(joined.0, whole.0);
+        assert_eq!(joined.2, whole.2);
+    }
+
+    #[test]
+    fn msb_join_agrees_with_whole() {
+        let data = sample();
+        let joined = msb_join(msb_work(&data[..1]), msb_work(&data[1..]));
+        assert_eq!(joined, msb_work(&data));
+    }
+}

@@ -1,0 +1,897 @@
+//! The mini-language sources of all 27 Table-1 benchmarks.
+//!
+//! The paper names its benchmarks but does not reproduce their code (the
+//! artifact URL is dead), so these are reconstructions of the standard
+//! single-pass algorithms the names denote; DESIGN.md records every
+//! definitional choice. Each benchmark carries the input profile used
+//! for bounded verification, the expected pipeline outcome, and the
+//! paper-reported Table-1 numbers (best-effort column mapping — see
+//! EXPERIMENTS.md).
+
+use crate::PaperNumbers;
+use parsynt_synth::examples::InputProfile;
+
+/// Input dimensionality category (the column groups of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimensionality {
+    /// Simple loop over a 1-dimensional collection (possibly of pairs).
+    OneD,
+    /// Doubly nested loop over a 2-dimensional collection.
+    TwoD,
+    /// Triply nested loop over a 3-dimensional collection.
+    ThreeD,
+}
+
+/// What the pipeline is expected to produce for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedOutcome {
+    /// Full divide-and-conquer parallelization.
+    DivideAndConquer,
+    /// Parallel map, sequential outer loop (bp).
+    MapOnly,
+    /// ✗ — not parallelizable within the budget (LCS).
+    Fails,
+}
+
+/// One benchmark of the evaluation suite.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Identifier (snake_case).
+    pub id: &'static str,
+    /// The paper's display name.
+    pub display: &'static str,
+    /// Input dimensionality.
+    pub dim: Dimensionality,
+    /// Mini-language source.
+    pub source: &'static str,
+    /// Input profile for bounded verification during synthesis.
+    pub profile: InputProfile,
+    /// Expected pipeline outcome.
+    pub expected: ExpectedOutcome,
+    /// Paper-reported Table 1 numbers.
+    pub paper: PaperNumbers,
+}
+
+fn pairs_profile() -> InputProfile {
+    InputProfile::default().with_cols(2, 2)
+}
+
+fn brackets_profile() -> InputProfile {
+    InputProfile::default()
+        .with_choices(&[-1, 1])
+        .with_cols(1, 6)
+}
+
+fn positive_profile() -> InputProfile {
+    InputProfile::default().with_value_range(1, 9)
+}
+
+fn mode_profile() -> InputProfile {
+    InputProfile::default()
+        .with_value_range(0, 7)
+        .with_rows(2, 10)
+}
+
+/// Look up a benchmark by id.
+pub fn benchmark(id: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.id == id)
+}
+
+/// The full suite, in Table-1 column order (2-D, 3-D, then 1-D).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        // ----------------------------------------------------- 2-D ----
+        Benchmark {
+            id: "sorted",
+            display: "sorted",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state srt : bool = true;
+                state first : int = 0;
+                state last : int = 0;
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  let rsrt : bool = true;
+                  let rfirst : int = a[i][0];
+                  let rlast : int = a[i][0];
+                  for j in 0 .. len(a[i]) {
+                    if (j > 0) {
+                      if (a[i][j] < rlast) { rsrt = false; }
+                      rlast = a[i][j];
+                    }
+                  }
+                  if (seen && rfirst < last) { srt = false; }
+                  srt = srt && rsrt;
+                  if (!seen) { first = rfirst; }
+                  last = rlast;
+                  seen = true;
+                }
+                return srt;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.2,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(2.3),
+            },
+        },
+        Benchmark {
+            id: "sum",
+            display: "sum",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state s : int = 0;
+                for i in 0 .. len(a) {
+                  for j in 0 .. len(a[i]) { s = s + a[i][j]; }
+                }
+                return s;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(1.1),
+            },
+        },
+        Benchmark {
+            id: "vertical_gradient",
+            display: "vertical gradient",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state ok : bool = true;
+                state prev : seq<int> = zeros(len(a[0]));
+                state frow : seq<int> = zeros(len(a[0]));
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  for j in 0 .. len(a[i]) {
+                    if (a[i][j] <= prev[j]) { ok = false; }
+                    if (i == 0) { frow[j] = a[i][j]; }
+                    prev[j] = a[i][j];
+                  }
+                  seen = true;
+                }
+                return ok;
+            "#,
+            profile: positive_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.1,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(1.1),
+            },
+        },
+        Benchmark {
+            id: "diagonal_gradient",
+            display: "diagonal gradient",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state ok : bool = true;
+                state prevs : seq<int> = zeros(len(a[0]));
+                state frow : seq<int> = zeros(len(a[0]));
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  let row : seq<int> = zeros(len(a[i]));
+                  for j in 0 .. len(a[i]) {
+                    row[j] = a[i][j];
+                    if (a[i][j] <= prevs[j]) { ok = false; }
+                    if (i == 0) { frow[j] = a[i][j]; }
+                  }
+                  for j2 in 0 .. len(a[i]) {
+                    if (j2 > 0) { prevs[j2] = a[i][j2 - 1]; }
+                  }
+                  seen = true;
+                }
+                return ok;
+            "#,
+            profile: positive_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.2,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(1.1),
+            },
+        },
+        Benchmark {
+            id: "min_max",
+            display: "min-max",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state mn : int = 1000000;
+                state mx : int = 0 - 1000000;
+                for i in 0 .. len(a) {
+                  for j in 0 .. len(a[i]) {
+                    mn = min(mn, a[i][j]);
+                    mx = max(mx, a[i][j]);
+                  }
+                }
+                return mn, mx;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.2,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(2.5),
+            },
+        },
+        Benchmark {
+            id: "min_max_col",
+            display: "min-max col.",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cmin : seq<int> = zeros(len(a[0]));
+                state cmax : seq<int> = zeros(len(a[0]));
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  for j in 0 .. len(a[i]) {
+                    if (seen) {
+                      cmin[j] = min(cmin[j], a[i][j]);
+                      cmax[j] = max(cmax[j], a[i][j]);
+                    } else {
+                      cmin[j] = a[i][j];
+                      cmax[j] = a[i][j];
+                    }
+                  }
+                  seen = true;
+                }
+                return cmin, cmax;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.5,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(2.3),
+            },
+        },
+        Benchmark {
+            id: "saddle_point",
+            display: "saddle point",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state mrm : int = 0 - 1000000;
+                state cmax : seq<int> = zeros(len(a[0]));
+                for i in 0 .. len(a) {
+                  let rmin : int = a[i][0];
+                  for j in 0 .. len(a[i]) {
+                    rmin = min(rmin, a[i][j]);
+                    cmax[j] = max(cmax[j], a[i][j]);
+                  }
+                  mrm = max(mrm, rmin);
+                }
+                return mrm, cmax;
+            "#,
+            profile: positive_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 4.6,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(5.4),
+            },
+        },
+        Benchmark {
+            id: "max_top_strip",
+            display: "max top strip",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cur : int = 0;
+                state mts : int = 0;
+                for i in 0 .. len(a) {
+                  let row : int = 0;
+                  for j in 0 .. len(a[i]) { row = row + a[i][j]; }
+                  cur = cur + row;
+                  mts = max(mts, cur);
+                }
+                return mts;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.2,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(6.1),
+            },
+        },
+        Benchmark {
+            id: "max_bottom_strip",
+            display: "max bottom strip",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state mbs : int = 0;
+                for i in 0 .. len(a) {
+                  let row : int = 0;
+                  for j in 0 .. len(a[i]) { row = row + a[i][j]; }
+                  mbs = max(mbs + row, 0);
+                }
+                return mbs;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.2,
+                aux: 1,
+                aux_memoryless: false,
+                join_s: Some(11.8),
+            },
+        },
+        Benchmark {
+            id: "max_segment_strip",
+            display: "max segment strip",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cur : int = 0;
+                state best : int = 0;
+                for i in 0 .. len(a) {
+                  let row : int = 0;
+                  for j in 0 .. len(a[i]) { row = row + a[i][j]; }
+                  cur = max(cur + row, 0);
+                  best = max(best, cur);
+                }
+                return best;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.2,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(64.1),
+            },
+        },
+        Benchmark {
+            id: "max_left_strip",
+            display: "max left strip",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cols : seq<int> = zeros(len(a[0]));
+                state pref : seq<int> = zeros(len(a[0]));
+                for i in 0 .. len(a) {
+                  let rpre : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    cols[j] = cols[j] + a[i][j];
+                    rpre = rpre + a[i][j];
+                    pref[j] = pref[j] + rpre;
+                  }
+                }
+                return cols, pref;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.6,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(11.2),
+            },
+        },
+        Benchmark {
+            id: "mtls",
+            display: "mtls (Sec. 2.2)",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state rec : seq<int> = zeros(len(a[0]));
+                state mtl : int = 0;
+                for i in 0 .. len(a) {
+                  let rpre : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    rpre = rpre + a[i][j];
+                    rec[j] = rec[j] + rpre;
+                    mtl = max(mtl, rec[j]);
+                  }
+                }
+                return mtl;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 30.2,
+                aux: 1,
+                aux_memoryless: false,
+                join_s: Some(116.3),
+            },
+        },
+        Benchmark {
+            id: "max_bot_left_rect",
+            display: "max bot-left rect.",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state psum : seq<int> = zeros(len(a[0]));
+                state recb : seq<int> = zeros(len(a[0]));
+                for i in 0 .. len(a) {
+                  let rpre : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    rpre = rpre + a[i][j];
+                    psum[j] = psum[j] + rpre;
+                    recb[j] = max(recb[j], 0) + rpre;
+                  }
+                }
+                return psum, recb;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.4,
+                aux: 1,
+                aux_memoryless: false,
+                join_s: Some(216.2),
+            },
+        },
+        Benchmark {
+            id: "max_top_right_rect",
+            display: "max top-right rect.",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state psuf : seq<int> = zeros(len(a[0]));
+                state mtr : int = 0;
+                for i in 0 .. len(a) {
+                  let rsuf : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    rsuf = rsuf + a[i][len(a[i]) - 1 - j];
+                    psuf[len(a[i]) - 1 - j] = psuf[len(a[i]) - 1 - j] + rsuf;
+                    mtr = max(mtr, psuf[len(a[i]) - 1 - j]);
+                  }
+                }
+                return mtr;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.4,
+                aux: 1,
+                aux_memoryless: false,
+                join_s: Some(313.5),
+            },
+        },
+        Benchmark {
+            id: "bp",
+            display: "bp (Sec. 2.1)",
+            dim: Dimensionality::TwoD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state offset : int = 0;
+                state bal : bool = true;
+                state cnt : int = 0;
+                for i in 0 .. len(a) {
+                  let lo : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);
+                    if (offset + lo < 0) { bal = false; }
+                  }
+                  offset = offset + lo;
+                  if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }
+                }
+                return cnt;
+            "#,
+            profile: brackets_profile(),
+            expected: ExpectedOutcome::MapOnly,
+            paper: PaperNumbers {
+                summarization_s: 5.3,
+                aux: 1,
+                aux_memoryless: true,
+                join_s: None,
+            },
+        },
+        // ----------------------------------------------------- 3-D ----
+        Benchmark {
+            id: "max_top_box",
+            display: "max top box",
+            dim: Dimensionality::ThreeD,
+            source: r#"
+                input a : seq<seq<seq<int>>>;
+                state cur : int = 0;
+                state mtb : int = 0;
+                for i in 0 .. len(a) {
+                  let plane : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    for k in 0 .. len(a[i][j]) { plane = plane + a[i][j][k]; }
+                  }
+                  cur = cur + plane;
+                  mtb = max(mtb, cur);
+                }
+                return mtb;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(2.6),
+            },
+        },
+        Benchmark {
+            id: "mbbs",
+            display: "mbbs (Sec. 1)",
+            dim: Dimensionality::ThreeD,
+            source: r#"
+                input a : seq<seq<seq<int>>>;
+                state mbbs : int = 0;
+                for i in 0 .. len(a) {
+                  let plane : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    for k in 0 .. len(a[i][j]) { plane = plane + a[i][j][k]; }
+                  }
+                  mbbs = max(mbbs + plane, 0);
+                }
+                return mbbs;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 1,
+                aux_memoryless: false,
+                join_s: Some(3.3),
+            },
+        },
+        Benchmark {
+            id: "max_segment_box",
+            display: "max segment box",
+            dim: Dimensionality::ThreeD,
+            source: r#"
+                input a : seq<seq<seq<int>>>;
+                state cur : int = 0;
+                state best : int = 0;
+                for i in 0 .. len(a) {
+                  let plane : int = 0;
+                  for j in 0 .. len(a[i]) {
+                    for k in 0 .. len(a[i][j]) { plane = plane + a[i][j][k]; }
+                  }
+                  cur = max(cur + plane, 0);
+                  best = max(best, cur);
+                }
+                return best;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(52.3),
+            },
+        },
+        Benchmark {
+            id: "max_left_box",
+            display: "max left box",
+            dim: Dimensionality::ThreeD,
+            source: r#"
+                input a : seq<seq<seq<int>>>;
+                state rec : seq<int> = zeros(len(a[0]));
+                state mlb : int = 0;
+                for p in 0 .. len(a) {
+                  let rv : seq<int> = zeros(len(a[p]));
+                  for j in 0 .. len(a[p]) {
+                    for c in 0 .. len(a[p][j]) { rv[j] = rv[j] + a[p][j][c]; }
+                  }
+                  for j2 in 0 .. len(a[p]) {
+                    rec[j2] = rec[j2] + rv[j2];
+                    mlb = max(mlb, rec[j2]);
+                  }
+                }
+                return mlb;
+            "#,
+            profile: InputProfile::default(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 2.1,
+                aux: 1,
+                aux_memoryless: false,
+                join_s: Some(22.7),
+            },
+        },
+        // ----------------------------------------------------- 1-D ----
+        Benchmark {
+            id: "balanced_substrings",
+            display: "balanced substr.",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<int>;
+                state matched : int = 0;
+                state open : int = 0;
+                state closeun : int = 0;
+                for i in 0 .. len(a) {
+                  if (a[i] == 1) { open = open + 1; }
+                  else {
+                    if (open > 0) { open = open - 1; matched = matched + 1; }
+                    else { closeun = closeun + 1; }
+                  }
+                }
+                return matched;
+            "#,
+            profile: InputProfile::default()
+                .with_choices(&[-1, 1])
+                .with_rows(2, 10),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 2.4,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(8.1),
+            },
+        },
+        Benchmark {
+            id: "mode",
+            display: "mode",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<int>;
+                state counts : seq<int> = zeros(8);
+                state mode : int = 0;
+                for i in 0 .. len(a) {
+                  counts[a[i]] = counts[a[i]] + 1;
+                  mode = max(mode, counts[a[i]]);
+                }
+                return mode;
+            "#,
+            profile: mode_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 54.9,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: Some(11.5),
+            },
+        },
+        Benchmark {
+            id: "max_dist",
+            display: "max-dist",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<int>;
+                state md : int = 0;
+                state first : int = 0;
+                state last : int = 0;
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  if (seen) { md = max(md, max(a[i] - last, last - a[i])); }
+                  if (!seen) { first = a[i]; }
+                  last = a[i];
+                  seen = true;
+                }
+                return md;
+            "#,
+            profile: InputProfile::default().with_rows(2, 10),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(10.5),
+            },
+        },
+        Benchmark {
+            id: "intersecting_ranges",
+            display: "inter. ranges",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cnt : int = 0;
+                state llo : int = 0;
+                state lhi : int = 0;
+                state flo : int = 0;
+                state fhi : int = 0;
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  let lo : int = min(a[i][0], a[i][1]);
+                  let hi : int = max(a[i][0], a[i][1]);
+                  if (seen && max(llo, lo) <= min(lhi, hi)) { cnt = cnt + 1; }
+                  if (!seen) { flo = lo; fhi = hi; }
+                  llo = lo;
+                  lhi = hi;
+                  seen = true;
+                }
+                return cnt;
+            "#,
+            profile: pairs_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(1.5),
+            },
+        },
+        Benchmark {
+            id: "increasing_ranges",
+            display: "increasing ranges",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cnt : int = 0;
+                state llo : int = 0;
+                state flo : int = 0;
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  let lo : int = min(a[i][0], a[i][1]);
+                  if (seen && lo > llo) { cnt = cnt + 1; }
+                  if (!seen) { flo = lo; }
+                  llo = lo;
+                  seen = true;
+                }
+                return cnt;
+            "#,
+            profile: pairs_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(2.5),
+            },
+        },
+        Benchmark {
+            id: "overlapping_ranges",
+            display: "overlapping ranges",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cnt : int = 0;
+                state lhi : int = 0;
+                state flo : int = 0;
+                state fhi : int = 0;
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  let lo : int = min(a[i][0], a[i][1]);
+                  let hi : int = max(a[i][0], a[i][1]);
+                  if (seen && lo <= lhi && hi > lhi) { cnt = cnt + 1; }
+                  if (!seen) { flo = lo; fhi = hi; }
+                  lhi = hi;
+                  seen = true;
+                }
+                return cnt;
+            "#,
+            profile: pairs_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(7.1),
+            },
+        },
+        Benchmark {
+            id: "pyramid_ranges",
+            display: "pyramid ranges",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state cnt : int = 0;
+                state llo : int = 0;
+                state lhi : int = 0;
+                state flo : int = 0;
+                state fhi : int = 0;
+                state seen : bool = false;
+                for i in 0 .. len(a) {
+                  let lo : int = min(a[i][0], a[i][1]);
+                  let hi : int = max(a[i][0], a[i][1]);
+                  if (seen && llo < lo && hi < lhi) { cnt = cnt + 1; }
+                  if (!seen) { flo = lo; fhi = hi; }
+                  llo = lo;
+                  lhi = hi;
+                  seen = true;
+                }
+                return cnt;
+            "#,
+            profile: pairs_profile(),
+            expected: ExpectedOutcome::DivideAndConquer,
+            paper: PaperNumbers {
+                summarization_s: 1.3,
+                aux: 2,
+                aux_memoryless: false,
+                join_s: Some(4.0),
+            },
+        },
+        Benchmark {
+            id: "lcs",
+            display: "LCS (modified)",
+            dim: Dimensionality::OneD,
+            source: r#"
+                input a : seq<seq<int>>;
+                state best : int = 0;
+                state cur : int = 0;
+                for i in 0 .. len(a) {
+                  if (a[i][0] == a[i][1]) { cur = cur + 1; } else { cur = 0; }
+                  best = max(best, cur);
+                }
+                return best;
+            "#,
+            profile: InputProfile::default()
+                .with_cols(2, 2)
+                .with_value_range(0, 2),
+            expected: ExpectedOutcome::Fails,
+            paper: PaperNumbers {
+                summarization_s: 2.3,
+                aux: 0,
+                aux_memoryless: false,
+                join_s: None,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+
+    #[test]
+    fn all_sources_parse_and_check() {
+        for b in all_benchmarks() {
+            assert!(
+                parse(b.source).is_ok(),
+                "benchmark `{}` failed to parse/check: {:?}",
+                b.id,
+                parse(b.source).err()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_has_27_benchmarks() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 27);
+        // Exactly one map-only (bp) and one failure (LCS).
+        assert_eq!(
+            all.iter()
+                .filter(|b| b.expected == ExpectedOutcome::MapOnly)
+                .count(),
+            1
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|b| b.expected == ExpectedOutcome::Fails)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = all_benchmarks();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+        assert!(benchmark("mbbs").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn loop_depths_match_dimensionality() {
+        for b in all_benchmarks() {
+            let p = parse(b.source).unwrap();
+            let depth = p.loop_depth();
+            match b.dim {
+                Dimensionality::OneD => assert_eq!(depth, 1, "{}", b.id),
+                Dimensionality::TwoD => assert_eq!(depth, 2, "{}", b.id),
+                Dimensionality::ThreeD => assert_eq!(depth, 3, "{}", b.id),
+            }
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Bottom-up enumerative synthesis with observational-equivalence
+//! pruning — the fallback grammar when no sketch matches (e.g. for
+//! freshly lifted auxiliary accumulators that have no original update
+//! statement to imitate).
+
+use crate::vocab::VocabEntry;
+use parsynt_lang::ast::{BinOp, Expr, UnOp};
+use parsynt_lang::interp::{eval_expr, Env};
+use parsynt_lang::{Ty, Value};
+use std::collections::HashSet;
+
+/// Configuration of the bottom-up enumerator.
+#[derive(Debug, Clone)]
+pub struct EnumConfig {
+    /// Maximum term size (number of construction levels).
+    pub max_size: usize,
+    /// Cap on the total number of retained (observationally distinct)
+    /// terms; the search stops when exceeded.
+    pub max_terms: usize,
+    /// Whether to build `c ? t : e` terms (expensive; off by default).
+    pub with_ite: bool,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            max_size: 9,
+            max_terms: 60_000,
+            with_ite: false,
+        }
+    }
+}
+
+/// The observational signature of a term: its value on each probe
+/// environment (`None` where evaluation fails).
+type Signature = Vec<Option<Value>>;
+
+#[derive(Debug, Clone)]
+struct Term {
+    expr: Expr,
+    ty: Ty,
+    sig: Signature,
+}
+
+/// Bottom-up enumerator over a fixed set of probe environments.
+///
+/// Terms are grown by size; two terms with identical signatures on the
+/// probe set are considered equivalent and only the first is kept. Every
+/// retained term of the target type is offered to the caller's `check`
+/// (which typically re-verifies against the real, stronger oracle).
+#[derive(Debug)]
+pub struct Enumerator {
+    probes: Vec<Env>,
+    cfg: EnumConfig,
+}
+
+impl Enumerator {
+    /// Create an enumerator with the given probe environments.
+    pub fn new(probes: Vec<Env>, cfg: EnumConfig) -> Self {
+        Enumerator { probes, cfg }
+    }
+
+    fn signature(&self, e: &Expr) -> Signature {
+        self.probes
+            .iter()
+            .map(|env| eval_expr(env, e).ok())
+            .collect()
+    }
+
+    /// Enumerate terms of `target_ty` built from `atoms`, in size order,
+    /// returning the first accepted by `check`.
+    pub fn solve(
+        &self,
+        atoms: &[VocabEntry],
+        target_ty: &Ty,
+        check: &mut dyn FnMut(&Expr) -> bool,
+    ) -> Option<Expr> {
+        let mut by_size: Vec<Vec<Term>> = vec![Vec::new()];
+        let mut seen: HashSet<(Ty, Signature)> = HashSet::new();
+        let mut total = 0usize;
+
+        // Size 1: the atoms.
+        let mut level1 = Vec::new();
+        for atom in atoms {
+            let sig = self.signature(&atom.expr);
+            if seen.insert((atom.ty.clone(), sig.clone())) {
+                if atom.ty == *target_ty && check(&atom.expr) {
+                    return Some(atom.expr.clone());
+                }
+                level1.push(Term {
+                    expr: atom.expr.clone(),
+                    ty: atom.ty.clone(),
+                    sig,
+                });
+                total += 1;
+            }
+        }
+        by_size.push(level1);
+
+        for size in 2..=self.cfg.max_size {
+            let mut level: Vec<Term> = Vec::new();
+            let offer = |term: Term,
+                         seen: &mut HashSet<(Ty, Signature)>,
+                         level: &mut Vec<Term>,
+                         total: &mut usize,
+                         check: &mut dyn FnMut(&Expr) -> bool|
+             -> Option<Expr> {
+                // Terms that fail on every probe are junk.
+                if term.sig.iter().all(Option::is_none) {
+                    return None;
+                }
+                if !seen.insert((term.ty.clone(), term.sig.clone())) {
+                    return None;
+                }
+                let hit = term.ty == *target_ty && check(&term.expr);
+                let expr = term.expr.clone();
+                level.push(term);
+                *total += 1;
+                hit.then_some(expr)
+            };
+
+            // Unary: !bool
+            for t in &by_size[size - 1] {
+                if t.ty == Ty::Bool {
+                    let expr = Expr::Unary(UnOp::Not, Box::new(t.expr.clone()));
+                    let sig = self.signature(&expr);
+                    if let Some(found) = offer(
+                        Term {
+                            expr,
+                            ty: Ty::Bool,
+                            sig,
+                        },
+                        &mut seen,
+                        &mut level,
+                        &mut total,
+                        check,
+                    ) {
+                        return Some(found);
+                    }
+                }
+            }
+
+            // Binary combinations: sizes s1 + s2 = size - 1.
+            for s1 in 1..size - 1 {
+                let s2 = size - 1 - s1;
+                if s2 < 1 || s2 >= by_size.len() || s1 >= by_size.len() {
+                    continue;
+                }
+                for i1 in 0..by_size[s1].len() {
+                    for i2 in 0..by_size[s2].len() {
+                        let (a, b) = (&by_size[s1][i1], &by_size[s2][i2]);
+                        let mut results: Vec<(Expr, Ty)> = Vec::new();
+                        if a.ty == Ty::Int && b.ty == Ty::Int {
+                            for op in [BinOp::Add, BinOp::Sub, BinOp::Min, BinOp::Max] {
+                                // Commutative ops: only one orientation
+                                // (s1 <= s2 side handled by the loop).
+                                if op != BinOp::Sub && s1 > s2 {
+                                    continue;
+                                }
+                                results
+                                    .push((Expr::bin(op, a.expr.clone(), b.expr.clone()), Ty::Int));
+                            }
+                            for op in [BinOp::Le, BinOp::Lt, BinOp::Eq, BinOp::Ge, BinOp::Gt] {
+                                results.push((
+                                    Expr::bin(op, a.expr.clone(), b.expr.clone()),
+                                    Ty::Bool,
+                                ));
+                            }
+                        } else if a.ty == Ty::Bool && b.ty == Ty::Bool && s1 <= s2 {
+                            results.push((Expr::and(a.expr.clone(), b.expr.clone()), Ty::Bool));
+                            results.push((Expr::or(a.expr.clone(), b.expr.clone()), Ty::Bool));
+                        }
+                        for (expr, ty) in results {
+                            let sig = self.signature(&expr);
+                            if let Some(found) = offer(
+                                Term { expr, ty, sig },
+                                &mut seen,
+                                &mut level,
+                                &mut total,
+                                check,
+                            ) {
+                                return Some(found);
+                            }
+                            if total > self.cfg.max_terms {
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Conditionals: cond(bool) ? t(int) : e(int).
+            if self.cfg.with_ite && size >= 4 {
+                for sc in 1..size - 2 {
+                    for st in 1..size - 1 - sc {
+                        let se = size - 1 - sc - st;
+                        if se < 1
+                            || sc >= by_size.len()
+                            || st >= by_size.len()
+                            || se >= by_size.len()
+                        {
+                            continue;
+                        }
+                        for c in 0..by_size[sc].len() {
+                            for t in 0..by_size[st].len() {
+                                for e2 in 0..by_size[se].len() {
+                                    let (vc, vt, ve) =
+                                        (&by_size[sc][c], &by_size[st][t], &by_size[se][e2]);
+                                    if vc.ty != Ty::Bool || vt.ty != Ty::Int || ve.ty != Ty::Int {
+                                        continue;
+                                    }
+                                    let expr = Expr::ite(
+                                        vc.expr.clone(),
+                                        vt.expr.clone(),
+                                        ve.expr.clone(),
+                                    );
+                                    let sig = self.signature(&expr);
+                                    if let Some(found) = offer(
+                                        Term {
+                                            expr,
+                                            ty: Ty::Int,
+                                            sig,
+                                        },
+                                        &mut seen,
+                                        &mut level,
+                                        &mut total,
+                                        check,
+                                    ) {
+                                        return Some(found);
+                                    }
+                                    if total > self.cfg.max_terms {
+                                        return None;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            by_size.push(level);
+            if total > self.cfg.max_terms {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::{Interner, Sym};
+
+    /// Build probe environments binding the given symbols to the given
+    /// per-probe values.
+    fn probe_envs(nsyms: u32, rows: &[Vec<Value>]) -> Vec<Env> {
+        rows.iter()
+            .map(|row| {
+                let mut env = Env::for_program(
+                    &parsynt_lang::parse(
+                        "input q : seq<int>; state w : int = 0; for i in 0 .. len(q) { w = 0; }",
+                    )
+                    .unwrap(),
+                );
+                for (k, v) in row.iter().enumerate() {
+                    assert!((k as u32) < nsyms + 10);
+                    env.set(Sym(k as u32), v.clone());
+                }
+                env
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_max_of_sum_and_var() {
+        // Target: max(x + y, z). Probes chosen to pin it down.
+        let mut i = Interner::new();
+        let (x, y, z) = (i.intern("x"), i.intern("y"), i.intern("z"));
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(2), Value::Int(10)],
+            vec![Value::Int(5), Value::Int(5), Value::Int(3)],
+            vec![Value::Int(-1), Value::Int(-2), Value::Int(-10)],
+        ];
+        let expected = [Value::Int(10), Value::Int(10), Value::Int(-3)];
+        let envs = probe_envs(3, &rows);
+        let enumerator = Enumerator::new(envs.clone(), EnumConfig::default());
+        let atoms = vec![
+            VocabEntry::int(Expr::var(x)),
+            VocabEntry::int(Expr::var(y)),
+            VocabEntry::int(Expr::var(z)),
+        ];
+        let found = enumerator
+            .solve(&atoms, &Ty::Int, &mut |e| {
+                envs.iter()
+                    .zip(&expected)
+                    .all(|(env, want)| eval_expr(env, e).ok().as_ref() == Some(want))
+            })
+            .expect("solvable");
+        // Check semantics (exact tree may be commuted).
+        for (env, want) in envs.iter().zip(&expected) {
+            assert_eq!(eval_expr(env, &found).unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn finds_boolean_guard() {
+        // Target: b && (x >= 0).
+        let mut i = Interner::new();
+        let (b, x) = (i.intern("b"), i.intern("x"));
+        let _ = (b, x);
+        let rows = vec![
+            vec![Value::Bool(true), Value::Int(3)],
+            vec![Value::Bool(true), Value::Int(-1)],
+            vec![Value::Bool(false), Value::Int(5)],
+            vec![Value::Bool(false), Value::Int(-2)],
+        ];
+        let expected = [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Bool(false),
+            Value::Bool(false),
+        ];
+        let envs = probe_envs(2, &rows);
+        let enumerator = Enumerator::new(envs.clone(), EnumConfig::default());
+        let atoms = vec![
+            VocabEntry::boolean(Expr::Var(Sym(0))),
+            VocabEntry::int(Expr::Var(Sym(1))),
+            VocabEntry::int(Expr::int(0)),
+        ];
+        let found = enumerator
+            .solve(&atoms, &Ty::Bool, &mut |e| {
+                envs.iter()
+                    .zip(&expected)
+                    .all(|(env, want)| eval_expr(env, e).ok().as_ref() == Some(want))
+            })
+            .expect("solvable");
+        for (env, want) in envs.iter().zip(&expected) {
+            assert_eq!(eval_expr(env, &found).unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn dedups_observationally_equal_terms() {
+        // x and x + 0 coincide on all probes; only one should be offered.
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let envs = probe_envs(1, &rows);
+        let enumerator = Enumerator::new(
+            envs,
+            EnumConfig {
+                max_size: 4,
+                ..Default::default()
+            },
+        );
+        let atoms = vec![
+            VocabEntry::int(Expr::Var(Sym(0))),
+            VocabEntry::int(Expr::int(0)),
+        ];
+        let mut offered = Vec::new();
+        let _ = enumerator.solve(&atoms, &Ty::Int, &mut |e| {
+            offered.push(e.clone());
+            false
+        });
+        // No duplicate signatures: x offered once, x+0 suppressed.
+        let var_like: Vec<_> = offered
+            .iter()
+            .filter(|e| {
+                eval_expr(
+                    &{
+                        let mut env = Env::for_program(
+                            &parsynt_lang::parse(
+                                "input q : seq<int>; state w : int = 0; \
+                             for i in 0 .. len(q) { w = 0; }",
+                            )
+                            .unwrap(),
+                        );
+                        env.set(Sym(0), Value::Int(7));
+                        env
+                    },
+                    e,
+                )
+                .ok()
+                    == Some(Value::Int(7))
+            })
+            .collect();
+        assert_eq!(var_like.len(), 1);
+    }
+
+    #[test]
+    fn ite_terms_require_opt_in() {
+        // Target: c ? x : y — only reachable with `with_ite`.
+        let rows = vec![
+            vec![Value::Bool(true), Value::Int(3), Value::Int(7)],
+            vec![Value::Bool(false), Value::Int(3), Value::Int(7)],
+            vec![Value::Bool(true), Value::Int(-1), Value::Int(4)],
+            vec![Value::Bool(false), Value::Int(-1), Value::Int(4)],
+        ];
+        let expected = [Value::Int(3), Value::Int(7), Value::Int(-1), Value::Int(4)];
+        let envs = probe_envs(3, &rows);
+        let atoms = vec![
+            VocabEntry::boolean(Expr::Var(Sym(0))),
+            VocabEntry::int(Expr::Var(Sym(1))),
+            VocabEntry::int(Expr::Var(Sym(2))),
+        ];
+        let check = |envs: &[Env]| {
+            let envs = envs.to_vec();
+            let expected = expected.clone();
+            move |e: &Expr| {
+                envs.iter()
+                    .zip(&expected)
+                    .all(|(env, want)| eval_expr(env, e).ok().as_ref() == Some(want))
+            }
+        };
+        // Without ite: a small size bound cannot express the selection.
+        let without = Enumerator::new(
+            envs.clone(),
+            EnumConfig { max_size: 4, with_ite: false, ..Default::default() },
+        );
+        assert!(without
+            .solve(&atoms, &Ty::Int, &mut check(&envs))
+            .is_none());
+        // With ite it is found at size 4.
+        let with = Enumerator::new(
+            envs.clone(),
+            EnumConfig { max_size: 4, with_ite: true, ..Default::default() },
+        );
+        let found = with
+            .solve(&atoms, &Ty::Int, &mut check(&envs))
+            .expect("ite term found");
+        assert!(matches!(found, Expr::Ite(..)));
+    }
+
+    #[test]
+    fn unsolvable_returns_none() {
+        let rows = vec![vec![Value::Int(1)]];
+        let envs = probe_envs(1, &rows);
+        let enumerator = Enumerator::new(
+            envs,
+            EnumConfig {
+                max_size: 3,
+                ..Default::default()
+            },
+        );
+        let atoms = vec![VocabEntry::int(Expr::Var(Sym(0)))];
+        assert!(enumerator.solve(&atoms, &Ty::Int, &mut |_| false).is_none());
+    }
+}

@@ -1,0 +1,299 @@
+//! Randomized example generation for bounded verification.
+//!
+//! The synthesizer's correctness oracle is the reference interpreter:
+//! for the join we check `h(x • y) = h(x) ⊙ h(y)` on random inputs and
+//! split points; for the merge we check `𝒢(d)(δ) = d ⊚ 𝒢(0̸)(δ)` with
+//! `d` drawn from *reachable* states (prefix runs), the states a real
+//! execution can present to the operator.
+
+use parsynt_lang::error::Result;
+use parsynt_lang::functional::{InnerResult, RightwardFn};
+use parsynt_lang::interp::StateVec;
+use parsynt_lang::{Ty, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Shape and value distribution for generated inputs.
+///
+/// Row widths (and plane depths) are uniform within one generated value,
+/// matching the paper's rectangular multidimensional arrays.
+#[derive(Debug, Clone)]
+pub struct InputProfile {
+    /// Range of the outer dimension (number of rows), inclusive.
+    pub rows: (usize, usize),
+    /// Range of the second dimension (row width), inclusive.
+    pub cols: (usize, usize),
+    /// Range of the third dimension, inclusive.
+    pub depth: (usize, usize),
+    /// Scalar element values are drawn from this list if non-empty …
+    pub choices: Vec<i64>,
+    /// … otherwise uniformly from this inclusive range.
+    pub value_range: (i64, i64),
+}
+
+impl Default for InputProfile {
+    fn default() -> Self {
+        InputProfile {
+            rows: (2, 6),
+            cols: (1, 4),
+            depth: (1, 3),
+            choices: Vec::new(),
+            value_range: (-4, 4),
+        }
+    }
+}
+
+impl InputProfile {
+    /// Profile drawing scalar values from an explicit set (e.g. `{-1, 1}`
+    /// for bracket benchmarks).
+    pub fn with_choices(mut self, choices: &[i64]) -> Self {
+        self.choices = choices.to_vec();
+        self
+    }
+
+    /// Override the value range.
+    pub fn with_value_range(mut self, lo: i64, hi: i64) -> Self {
+        self.value_range = (lo, hi);
+        self
+    }
+
+    /// Override the row-count range.
+    pub fn with_rows(mut self, lo: usize, hi: usize) -> Self {
+        self.rows = (lo, hi);
+        self
+    }
+
+    /// Override the column-count range.
+    pub fn with_cols(mut self, lo: usize, hi: usize) -> Self {
+        self.cols = (lo, hi);
+        self
+    }
+
+    fn scalar(&self, rng: &mut SmallRng) -> i64 {
+        if self.choices.is_empty() {
+            rng.gen_range(self.value_range.0..=self.value_range.1)
+        } else {
+            self.choices[rng.gen_range(0..self.choices.len())]
+        }
+    }
+
+    /// Generate a random value of (sequence) type `ty` with `rows` outer
+    /// elements; inner dimensions are drawn from the profile but uniform
+    /// within the value.
+    pub fn generate_with_rows(&self, rng: &mut SmallRng, ty: &Ty, rows: usize) -> Value {
+        let m = rng.gen_range(self.cols.0..=self.cols.1);
+        let l = rng.gen_range(self.depth.0..=self.depth.1);
+        self.gen_dim(rng, ty, rows, m, l)
+    }
+
+    /// Generate a random value of type `ty` with all dimensions drawn
+    /// from the profile.
+    pub fn generate(&self, rng: &mut SmallRng, ty: &Ty) -> Value {
+        let n = rng.gen_range(self.rows.0..=self.rows.1);
+        self.generate_with_rows(rng, ty, n)
+    }
+
+    /// Dimensions shift one position per nesting level: the outer level
+    /// gets `n` elements, the next `m`, the next `l`.
+    fn gen_dim(&self, rng: &mut SmallRng, ty: &Ty, n: usize, m: usize, l: usize) -> Value {
+        match ty {
+            Ty::Int => Value::Int(self.scalar(rng)),
+            Ty::Bool => Value::Bool(rng.gen_bool(0.5)),
+            Ty::Seq(elem) => Value::Seq((0..n).map(|_| self.gen_dim(rng, elem, m, l, 1)).collect()),
+        }
+    }
+}
+
+/// One bounded-verification example for the join `⊙`:
+/// `whole = join(left, right)` must hold.
+#[derive(Debug, Clone)]
+pub struct JoinExample {
+    /// `h(x)` — the state after the left chunk.
+    pub left: StateVec,
+    /// `h(y)` — the state after the right chunk.
+    pub right: StateVec,
+    /// `h(x • y)` — the state after the whole input.
+    pub whole: StateVec,
+}
+
+/// One bounded-verification example for the merge `⊚`:
+/// `expected = merge(state, inner)` must hold.
+#[derive(Debug, Clone)]
+pub struct MergeExample {
+    /// `d` — a reachable intermediate state of the outer loop.
+    pub state: StateVec,
+    /// `𝒢(0̸)(δ)` — the inner nest's result from the initial state.
+    pub inner: InnerResult,
+    /// `d ⊕ δ` — the state after one full outer iteration from `d`.
+    pub expected: StateVec,
+}
+
+/// Generate random full inputs for a program (one value per declared
+/// input, the main input with at least 2 rows so it can be split).
+pub fn random_inputs(
+    f: &RightwardFn<'_>,
+    profile: &InputProfile,
+    rng: &mut SmallRng,
+) -> Vec<Value> {
+    let program = f.program();
+    program
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(idx, decl)| {
+            if idx == f.main_input() {
+                let n = rng.gen_range(profile.rows.0.max(2)..=profile.rows.1.max(2));
+                profile.generate_with_rows(rng, &decl.ty, n)
+            } else {
+                profile.generate(rng, &decl.ty)
+            }
+        })
+        .collect()
+}
+
+/// Build `count` join examples from random inputs and split points.
+///
+/// # Errors
+///
+/// Propagates interpreter failures (e.g. a program that indexes out of
+/// bounds on some generated input).
+pub fn join_examples(
+    f: &RightwardFn<'_>,
+    profile: &InputProfile,
+    rng: &mut SmallRng,
+    count: usize,
+) -> Result<Vec<JoinExample>> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let inputs = random_inputs(f, profile, rng);
+        let n = inputs[f.main_input()].len().unwrap_or(0);
+        if n < 2 {
+            continue;
+        }
+        let p = rng.gen_range(1..n);
+        let left = f.apply_slice(&inputs, 0, p)?;
+        let right = f.apply_slice(&inputs, p, n)?;
+        let whole = f.apply(&inputs)?;
+        out.push(JoinExample { left, right, whole });
+    }
+    Ok(out)
+}
+
+/// Build `count` merge examples: reachable prefix states `d`, one more
+/// row `δ`, its from-zero inner result, and the true next state.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn merge_examples(
+    f: &RightwardFn<'_>,
+    profile: &InputProfile,
+    rng: &mut SmallRng,
+    count: usize,
+) -> Result<Vec<MergeExample>> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let inputs = random_inputs(f, profile, rng);
+        let n = inputs[f.main_input()].len().unwrap_or(0);
+        if n < 1 {
+            continue;
+        }
+        // Pick the row to merge and use the prefix before it as `d`.
+        // For i = 0 the prefix state is the declared initial state,
+        // evaluated against the full input (state initializers may read
+        // input shapes, e.g. `zeros(len(a[0]))`).
+        let i = rng.gen_range(0..n);
+        let state = if i == 0 {
+            let env = parsynt_lang::interp::init_env(f.program(), &inputs)?;
+            parsynt_lang::interp::read_state(f.program(), &env)?
+        } else {
+            f.apply_slice(&inputs, 0, i)?
+        };
+        let inner = f.inner_phase_from_zero(&inputs, i)?;
+        let expected = f.outer_step(&inputs, i, &state)?;
+        out.push(MergeExample {
+            state,
+            inner,
+            expected,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_rectangular_2d_inputs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let profile = InputProfile::default();
+        let v = profile.generate(&mut rng, &Ty::seq_n(Ty::Int, 2));
+        let rows = v.as_seq().unwrap();
+        assert!(!rows.is_empty());
+        let w = rows[0].len().unwrap();
+        assert!(
+            rows.iter().all(|r| r.len() == Some(w)),
+            "rows must be uniform"
+        );
+    }
+
+    #[test]
+    fn generates_choice_values_only() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let profile = InputProfile::default().with_choices(&[-1, 1]);
+        let v = profile.generate(&mut rng, &Ty::seq(Ty::Int));
+        for item in v.as_seq().unwrap() {
+            assert!(matches!(item.as_int(), Some(-1 | 1)));
+        }
+    }
+
+    #[test]
+    fn join_examples_satisfy_slicing_identity() {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        )
+        .unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let examples = join_examples(&f, &InputProfile::default(), &mut rng, 10).unwrap();
+        assert_eq!(examples.len(), 10);
+        for ex in &examples {
+            // For sum, whole = left + right: sanity-check the oracle.
+            let l = ex.left.scalar_named(&p, "s").unwrap();
+            let r = ex.right.scalar_named(&p, "s").unwrap();
+            let w = ex.whole.scalar_named(&p, "s").unwrap();
+            assert_eq!(l + r, w);
+        }
+    }
+
+    #[test]
+    fn merge_examples_expected_matches_fold_step() {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let row : int = 0;\n\
+               for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+               s = max(s + row, 0);\n\
+             }",
+        )
+        .unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let examples = merge_examples(&f, &InputProfile::default(), &mut rng, 10).unwrap();
+        for ex in &examples {
+            let d = ex.state.scalar_named(&p, "s").unwrap();
+            let row = ex
+                .inner
+                .get(p.sym("row").unwrap())
+                .unwrap()
+                .as_int()
+                .unwrap();
+            let expected = ex.expected.scalar_named(&p, "s").unwrap();
+            assert_eq!((d + row).max(0), expected);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Synthesis of the parallel join operator `⊙` (§7.1) — step (I) of the
+//! Figure-7 schema.
+//!
+//! Specification: `∀x, y. h(x • y) = h(x) ⊙ h(y)`, checked boundedly on
+//! random inputs and split points. The synthesized join is a statement
+//! list over the program's state variables plus fresh `v__l` / `v__r`
+//! projections of the two incoming states; array-shaped state yields a
+//! looped join within the `O(m^{k-1})` budget of Definition 6.2.
+
+use crate::examples::{join_examples, InputProfile, JoinExample};
+use crate::report::{SynthConfig, VarStats};
+use crate::solver::{Case, CaseSet, VarSolver};
+use crate::templates::collect_templates;
+use crate::vocab::{constant_atoms, VocabEntry};
+use parsynt_lang::analysis::analyze;
+use parsynt_lang::ast::{Expr, Program, Stmt, Sym};
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_lang::interp::{exec_stmts, read_state, Env, StateVec};
+use parsynt_lang::pretty::stmt_to_string;
+use parsynt_lang::Ty;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One state variable's projections in the join vocabulary.
+#[derive(Debug, Clone)]
+pub struct JoinVar {
+    /// The state variable.
+    pub sym: Sym,
+    /// Symbol bound to the left state's value.
+    pub l: Sym,
+    /// Symbol bound to the right state's value.
+    pub r: Sym,
+    /// The variable's type.
+    pub ty: Ty,
+}
+
+/// The join's vocabulary: left/right projections for every state
+/// variable, and a loop counter for looped joins.
+#[derive(Debug, Clone)]
+pub struct JoinVocab {
+    /// Per-state-variable projections.
+    pub vars: Vec<JoinVar>,
+    /// Loop counter for looped joins.
+    pub loop_var: Sym,
+}
+
+impl JoinVocab {
+    /// Intern the vocabulary symbols into `program` (fresh `name__l`,
+    /// `name__r` and a loop counter).
+    pub fn install(program: &mut Program) -> JoinVocab {
+        let names: Vec<(Sym, Ty, String)> = program
+            .state
+            .iter()
+            .map(|d| (d.name, d.ty.clone(), program.name(d.name).to_owned()))
+            .collect();
+        let vars = names
+            .into_iter()
+            .map(|(sym, ty, name)| JoinVar {
+                sym,
+                l: program.interner.fresh(&format!("{name}__l")),
+                r: program.interner.fresh(&format!("{name}__r")),
+                ty,
+            })
+            .collect();
+        let loop_var = program.interner.fresh("__jj");
+        JoinVocab { vars, loop_var }
+    }
+
+    /// The projection entry for a state variable.
+    pub fn var(&self, sym: Sym) -> Option<&JoinVar> {
+        self.vars.iter().find(|v| v.sym == sym)
+    }
+}
+
+/// A synthesized join: a statement list executed with the convention
+/// that every state variable starts at its *left* value and the
+/// `v__l` / `v__r` symbols are bound to the incoming states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesizedJoin {
+    /// The join body.
+    pub stmts: Vec<Stmt>,
+}
+
+impl SynthesizedJoin {
+    /// Render the join as surface syntax (for reports and debugging).
+    pub fn render(&self, program: &Program) -> String {
+        self.stmts
+            .iter()
+            .map(|s| stmt_to_string(&program.interner, s))
+            .collect()
+    }
+}
+
+/// Execute a synthesized join on two states.
+///
+/// # Errors
+///
+/// Propagates interpreter errors (a malformed join).
+pub fn apply_join(
+    program: &Program,
+    vocab: &JoinVocab,
+    join: &SynthesizedJoin,
+    left: &StateVec,
+    right: &StateVec,
+) -> Result<StateVec> {
+    let mut env = Env::for_program(program);
+    for v in &vocab.vars {
+        let lval = left
+            .get(v.sym)
+            .ok_or_else(|| LangError::eval("join: missing left value"))?;
+        let rval = right
+            .get(v.sym)
+            .ok_or_else(|| LangError::eval("join: missing right value"))?;
+        env.set(v.l, lval.clone());
+        env.set(v.r, rval.clone());
+        env.set(v.sym, lval.clone());
+    }
+    exec_stmts(&mut env, &join.stmts)?;
+    read_state(program, &env)
+}
+
+/// Outcome of join synthesis.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// The synthesized join, or `None` when no join exists in the search
+    /// space (the nominal "not a homomorphism" verdict of §6.2).
+    pub join: Option<SynthesizedJoin>,
+    /// Wall-clock synthesis time.
+    pub elapsed: Duration,
+    /// Per-variable statistics.
+    pub stats: Vec<VarStats>,
+    /// The first variable that could not be solved, if any.
+    pub failed_var: Option<String>,
+    /// Whether the join required a loop (array-shaped state).
+    pub looped: bool,
+}
+
+impl JoinResult {
+    fn failure(elapsed: Duration, stats: Vec<VarStats>, var: String) -> JoinResult {
+        JoinResult {
+            join: None,
+            elapsed,
+            stats,
+            failed_var: Some(var),
+            looped: false,
+        }
+    }
+}
+
+fn join_case(program: &Program, vocab: &JoinVocab, ex: &JoinExample) -> Result<Case> {
+    let mut env = Env::for_program(program);
+    for v in &vocab.vars {
+        let lval = ex
+            .left
+            .get(v.sym)
+            .ok_or_else(|| LangError::eval("example missing state value"))?;
+        let rval = ex
+            .right
+            .get(v.sym)
+            .ok_or_else(|| LangError::eval("example missing state value"))?;
+        env.set(v.l, lval.clone());
+        env.set(v.r, rval.clone());
+        env.set(v.sym, lval.clone());
+    }
+    Ok(Case {
+        env,
+        expected: ex.whole.clone(),
+    })
+}
+
+fn join_atoms(vocab: &JoinVocab) -> (Vec<VocabEntry>, Vec<VocabEntry>) {
+    use parsynt_synth_side::Side;
+    let mut scalar = constant_atoms();
+    for v in &vocab.vars {
+        if v.ty.is_scalar() {
+            for (sym, side) in [
+                (v.l, Side::Left),
+                (v.r, Side::Right),
+                (v.sym, Side::Current),
+            ] {
+                scalar.push(
+                    VocabEntry::new(Expr::var(sym), v.ty.clone())
+                        .with_side(side)
+                        .with_var(v.sym),
+                );
+            }
+        }
+    }
+    let mut looped = scalar.clone();
+    looped.push(VocabEntry::int(Expr::var(vocab.loop_var)));
+    for v in &vocab.vars {
+        if let Ty::Seq(elem) = &v.ty {
+            for (sym, side) in [
+                (v.l, Side::Left),
+                (v.r, Side::Right),
+                (v.sym, Side::Current),
+            ] {
+                looped.push(
+                    VocabEntry::new(
+                        Expr::index(Expr::var(sym), Expr::var(vocab.loop_var)),
+                        (**elem).clone(),
+                    )
+                    .with_side(side)
+                    .with_var(v.sym),
+                );
+            }
+        }
+    }
+    (scalar, looped)
+}
+
+use crate::vocab as parsynt_synth_side;
+
+/// Origin-relatedness for join holes: a hole that replaced `s` prefers
+/// candidates over the state variables `s` *is* or *flows into*
+/// (dataflow adjacency), projected to their `__l`/`__r`/current symbols.
+fn join_related(program: &Program, vocab: &JoinVocab) -> impl Fn(Sym) -> Vec<Sym> {
+    let flow = parsynt_lang::analysis::assigned_from(program);
+    let vocab = vocab.clone();
+    move |s: Sym| {
+        let mut out: Vec<Sym> = Vec::new();
+        let push_var = |v: Sym, out: &mut Vec<Sym>| {
+            if let Some(jv) = vocab.var(v) {
+                for sym in [jv.sym, jv.l, jv.r] {
+                    if !out.contains(&sym) {
+                        out.push(sym);
+                    }
+                }
+            }
+        };
+        push_var(s, &mut out);
+        // Vocabulary symbols map back to their state variable.
+        if let Some(jv) = vocab.vars.iter().find(|v| v.l == s || v.r == s) {
+            push_var(jv.sym, &mut out);
+        }
+        if let Some(targets) = flow.get(&s) {
+            for &v in targets {
+                push_var(v, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Synthesize a join for `program` (step (I) of Figure 7).
+///
+/// The vocabulary symbols are interned into `program`; on success the
+/// returned join can be executed with [`apply_join`].
+///
+/// Looped joins currently assume all array-shaped state variables share
+/// one width (the loop bound is the first array's length) — true for
+/// every benchmark in the suite, where arrays are sized by the row
+/// width; programs mixing array widths would need per-array loops.
+///
+/// # Errors
+///
+/// Fails only on interpreter/program errors (example generation); an
+/// unsynthesizable join is reported in [`JoinResult::join`] as `None`.
+pub fn synthesize_join(
+    program: &mut Program,
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<(JoinResult, JoinVocab)> {
+    let start = Instant::now();
+    let vocab = JoinVocab::install(program);
+    let program: &Program = program;
+    let f = RightwardFn::new(program)?;
+    let analysis = analyze(program);
+    let allow_loops = analysis.summarized_depth >= 2;
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let search = join_examples(&f, profile, &mut rng, cfg.search_examples)?;
+    let verify = join_examples(&f, profile, &mut rng, cfg.verify_examples)?;
+    let search_cases = search
+        .iter()
+        .map(|ex| join_case(program, &vocab, ex))
+        .collect::<Result<Vec<_>>>()?;
+    let verify_cases = verify
+        .iter()
+        .map(|ex| join_case(program, &vocab, ex))
+        .collect::<Result<Vec<_>>>()?;
+
+    let templates = collect_templates(&f);
+    let template_of = |sym: Sym| {
+        templates
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_default()
+    };
+    let ty_map: Vec<(Sym, Ty)> = program
+        .state
+        .iter()
+        .map(|d| (d.name, d.ty.clone()))
+        .chain(f.inner_vars().iter().cloned())
+        .collect();
+    let ty_of = move |sym: Sym| -> Option<Ty> {
+        ty_map
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, t)| t.clone())
+    };
+
+    let loop_bound = vocab
+        .vars
+        .iter()
+        .find(|v| v.ty.is_seq())
+        .map(|v| Expr::Len(Box::new(Expr::var(v.l))))
+        .unwrap_or(Expr::Int(0));
+    let (scalar_atoms, loop_atoms) = join_atoms(&vocab);
+    let related = std::rc::Rc::new(join_related(program, &vocab));
+
+    // Outer CEGIS loop: a join that survives the per-variable search and
+    // verify sets but fails the final whole-join verification feeds its
+    // counterexamples back into the search set and re-solves.
+    let mut extra_cases: Vec<Case> = Vec::new();
+    let mut last_failure: Option<(Vec<VarStats>, String)> = None;
+    for _attempt in 0..3 {
+        let mut search = search_cases.clone();
+        search.extend(extra_cases.iter().cloned());
+        let mut solver = VarSolver::new(
+            program,
+            vocab.loop_var,
+            loop_bound.clone(),
+            scalar_atoms.clone(),
+            loop_atoms.clone(),
+            CaseSet::new(search, verify_cases.clone()),
+            related.clone(),
+            cfg.clone(),
+        );
+
+        let mut solved: Vec<Stmt> = Vec::new();
+        let mut deferred: Vec<Sym> = Vec::new();
+        let mut failed: Option<String> = None;
+        for sym in analysis.state_in_dependency_order() {
+            let var_templates = template_of(sym);
+            let is_array = program.state_decl(sym).is_some_and(|d| d.ty.is_seq());
+            if is_array {
+                deferred.push(sym);
+                continue;
+            }
+            if !solver.solve_scalar(sym, &var_templates.scalar, &ty_of, &mut solved) {
+                deferred.push(sym);
+            }
+        }
+
+        let mut looped = false;
+        if !deferred.is_empty() {
+            if !allow_loops {
+                let name = program.name(deferred[0]).to_owned();
+                return Ok((
+                    JoinResult::failure(start.elapsed(), solver.stats, name),
+                    vocab,
+                ));
+            }
+            looped = true;
+            for &sym in &deferred {
+                let var_templates = template_of(sym);
+                let is_array = program.state_decl(sym).is_some_and(|d| d.ty.is_seq());
+                let templates: Vec<Expr> = var_templates
+                    .looped
+                    .iter()
+                    .chain(&var_templates.scalar)
+                    .cloned()
+                    .collect();
+                if !solver.solve_in_loop(sym, is_array, &templates, &ty_of) {
+                    failed = Some(program.name(sym).to_owned());
+                    break;
+                }
+            }
+            solver.finish_loop(&mut solved);
+        }
+        if let Some(name) = failed {
+            return Ok((
+                JoinResult::failure(start.elapsed(), solver.stats, name),
+                vocab,
+            ));
+        }
+
+        let join = SynthesizedJoin {
+            stmts: crate::simplify::simplify_stmts(&solved),
+        };
+
+        // Final bounded verification of the assembled join on fresh
+        // examples; failures become new search cases.
+        let final_examples = join_examples(&f, profile, &mut rng, 150)?;
+        let mut bad: Vec<Case> = Vec::new();
+        for ex in &final_examples {
+            let got = apply_join(program, &vocab, &join, &ex.left, &ex.right)?;
+            if got != ex.whole {
+                bad.push(join_case(program, &vocab, ex)?);
+            }
+        }
+        if bad.is_empty() {
+            return Ok((
+                JoinResult {
+                    join: Some(join),
+                    elapsed: start.elapsed(),
+                    stats: solver.stats,
+                    failed_var: None,
+                    looped,
+                },
+                vocab,
+            ));
+        }
+        extra_cases.extend(bad);
+        last_failure = Some((solver.stats, "<final-verification>".to_owned()));
+    }
+    let (stats, var) = last_failure.unwrap_or_default();
+    Ok((JoinResult::failure(start.elapsed(), stats, var), vocab))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+    use parsynt_lang::Value;
+
+    fn synth(src: &str) -> (Program, JoinResult, JoinVocab) {
+        let mut p = parse(src).unwrap();
+        let cfg = SynthConfig::default();
+        let (result, vocab) = synthesize_join(&mut p, &InputProfile::default(), &cfg).unwrap();
+        (p, result, vocab)
+    }
+
+    #[test]
+    fn sum_join_is_addition() {
+        let (p, result, vocab) = synth(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        );
+        let join = result.join.expect("sum is a homomorphism");
+        assert!(!result.looped);
+        // Sanity: join([s=10], [s=5]) = [s=15].
+        let s = p.sym("s").unwrap();
+        let l = StateVec::new(vec![(s, Value::Int(10))]);
+        let r = StateVec::new(vec![(s, Value::Int(5))]);
+        let out = apply_join(&p, &vocab, &join, &l, &r).unwrap();
+        assert_eq!(out.get(s), Some(&Value::Int(15)));
+    }
+
+    #[test]
+    fn lifted_max_prefix_sum_join() {
+        // Max top strip after lifting: m = max prefix sum, s = total sum.
+        // Join: s = s_l + s_r; m = max(m_l, s_l + m_r).
+        let (p, result, vocab) = synth(
+            "input a : seq<int>; state m : int = 0; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + a[i]; m = max(m, s); }",
+        );
+        let join = result.join.expect("lifted mps is a homomorphism");
+        let s = p.sym("s").unwrap();
+        let m = p.sym("m").unwrap();
+        // left = [3, -1] -> s=2, m=3 ; right = [4] -> s=4, m=4
+        let l = StateVec::new(vec![(m, Value::Int(3)), (s, Value::Int(2))]);
+        let r = StateVec::new(vec![(m, Value::Int(4)), (s, Value::Int(4))]);
+        let out = apply_join(&p, &vocab, &join, &l, &r).unwrap();
+        assert_eq!(out.get(s), Some(&Value::Int(6)));
+        assert_eq!(out.get(m), Some(&Value::Int(6))); // max(3, 2+4)
+    }
+
+    #[test]
+    fn unliftable_scalar_loop_has_no_join() {
+        // mbs without the sum accumulator is not a homomorphism
+        // (the introduction's argument), and k = 1 forbids loops.
+        let (_, result, _) = synth(
+            "input a : seq<int>; state m : int = 0;\n\
+             for i in 0 .. len(a) { m = max(m + a[i], 0); }",
+        );
+        assert!(result.join.is_none());
+        assert!(result.failed_var.is_some());
+    }
+
+    #[test]
+    fn looped_join_for_column_sums() {
+        // Column sums: rec[j] += a[i][j]; join must zip-add.
+        let (p, result, vocab) = synth(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; } }",
+        );
+        let join = result.join.expect("column sums join elementwise");
+        assert!(result.looped);
+        let rec = p.sym("rec").unwrap();
+        let l = StateVec::new(vec![(rec, Value::seq_of_ints(&[1, 2]))]);
+        let r = StateVec::new(vec![(rec, Value::seq_of_ints(&[10, 20]))]);
+        let out = apply_join(&p, &vocab, &join, &l, &r).unwrap();
+        assert_eq!(out.get(rec), Some(&Value::seq_of_ints(&[11, 22])));
+    }
+
+    #[test]
+    fn mtls_join_matches_figure_6() {
+        // Figure 5(c): rec[], max_rec[], mtl — the looped join of Figure 6.
+        let (p, result, vocab) = synth(
+            "input a : seq<seq<int>>;\n\
+             state rec : seq<int> = zeros(len(a[0]));\n\
+             state max_rec : seq<int> = zeros(len(a[0]));\n\
+             state mtl : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j];\n\
+               max_rec[j] = max(max_rec[j], rec[j]);\n\
+               mtl = max(mtl, rec[j]);\n\
+             } }",
+        );
+        let join = result.join.expect("lifted mtls is a homomorphism");
+        assert!(result.looped);
+        // Cross-check against a brute-force run.
+        let input = Value::seq2_of_ints(&[
+            vec![3, -1, 2],
+            vec![-2, 4, -1],
+            vec![1, 1, 1],
+            vec![-5, 2, 0],
+        ]);
+        let f = RightwardFn::new(&p).unwrap();
+        let whole = f.apply(std::slice::from_ref(&input)).unwrap();
+        let l = f.apply_slice(std::slice::from_ref(&input), 0, 2).unwrap();
+        let r = f.apply_slice(&[input], 2, 4).unwrap();
+        let out = apply_join(&p, &vocab, &join, &l, &r).unwrap();
+        assert_eq!(out, whole);
+    }
+}

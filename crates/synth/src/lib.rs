@@ -1,0 +1,41 @@
+//! # parsynt-synth
+//!
+//! Syntax-guided synthesis of the two operators ParSynt needs (§7 of
+//! *Modular Divide-and-Conquer Parallelization of Nested Loops*):
+//!
+//! * the **parallel join** `⊙` with `h(x • y) = h(x) ⊙ h(y)` — step (I)
+//!   of the Figure-7 schema ([`join`]), and
+//! * the **memoryless merge** `⊚` with `𝒢(d)(δ) = d ⊚ 𝒢(0̸)(δ)` — step
+//!   (II), loop summarization ([`merge`]); Prop. 7.2 reduces it to the
+//!   same synthesis problem.
+//!
+//! The paper uses Rosette; offline, this crate substitutes an
+//! **enumerative CEGIS** engine with the same search-space shaping:
+//!
+//! * sketches built from the loop body with every variable replaced by a
+//!   hole ([`sketch`]), including *looped* sketches for array-shaped
+//!   state (§7.1's extension);
+//! * the weak-inverse restriction: hole candidates are drawn from the
+//!   left/right states (constant-length inverse images), not arbitrary
+//!   terms ([`vocab`]);
+//! * bottom-up enumeration with observational-equivalence pruning as the
+//!   fallback grammar ([`enumerate`]);
+//! * bounded verification against the reference interpreter on randomized
+//!   split inputs ([`examples`]), mirroring Rosette's bounded checks.
+
+pub mod enumerate;
+pub mod examples;
+pub mod join;
+pub mod merge;
+pub mod report;
+pub mod simplify;
+pub mod sketch;
+pub mod solver;
+pub mod templates;
+pub mod vocab;
+
+pub use examples::{InputProfile, JoinExample, MergeExample};
+pub use join::{apply_join, synthesize_join, JoinResult, JoinVocab, SynthesizedJoin};
+pub use merge::{apply_merge, synthesize_merge, MergeResult, MergeVocab, SynthesizedMerge};
+pub use report::SynthConfig;
+pub use vocab::{compound_candidates, VocabEntry};

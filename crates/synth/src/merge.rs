@@ -1,0 +1,541 @@
+//! Synthesis of the memoryless merge operator `⊚` (§7.2) — step (II) of
+//! the Figure-7 schema, i.e. loop summarization.
+//!
+//! Specification (Prop. 7.2): `∀d, δ. 𝒢(d)(δ) = d ⊚ 𝒢(0̸)(δ)` — running
+//! the inner loop nest from an arbitrary outer state must be expressible
+//! as a merge of that state with the inner nest's *from-zero* result.
+//! A successful merge certifies the loop (lifts to) memoryless, removing
+//! the "black arrow" dependencies of Figure 2(a) and enabling the
+//! parallel map of Prop. 4.3.
+
+use crate::examples::{merge_examples, InputProfile, MergeExample};
+use crate::report::{SynthConfig, VarStats};
+use crate::solver::{Case, CaseSet, VarSolver};
+use crate::templates::collect_templates;
+use crate::vocab::{constant_atoms, VocabEntry};
+use parsynt_lang::analysis::analyze;
+use parsynt_lang::ast::{Expr, Program, Stmt, Sym};
+use parsynt_lang::error::{LangError, Result};
+use parsynt_lang::functional::{InnerResult, RightwardFn};
+use parsynt_lang::interp::{exec_stmts, read_state, Env, StateVec};
+use parsynt_lang::pretty::stmt_to_string;
+use parsynt_lang::Ty;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// A state variable's entry in the merge vocabulary.
+#[derive(Debug, Clone)]
+pub struct MergeVar {
+    /// The state variable (holds the *evolving* merged value).
+    pub sym: Sym,
+    /// Symbol bound to the variable's pre-merge ("old", `d`) value.
+    pub old: Sym,
+    /// The variable's type.
+    pub ty: Ty,
+}
+
+/// An inner accumulator's entry: its from-zero result is bound to `t`.
+#[derive(Debug, Clone)]
+pub struct MergeInner {
+    /// The inner accumulator in the original program.
+    pub orig: Sym,
+    /// Symbol bound to the from-zero result `𝒢(0̸)(δ)` projection.
+    pub t: Sym,
+    /// Its type.
+    pub ty: Ty,
+}
+
+/// The merge vocabulary.
+#[derive(Debug, Clone)]
+pub struct MergeVocab {
+    /// State variables with their `__d` (old value) symbols.
+    pub vars: Vec<MergeVar>,
+    /// Inner accumulators with their `__t` symbols.
+    pub inner: Vec<MergeInner>,
+    /// Loop counter for looped merges.
+    pub loop_var: Sym,
+}
+
+impl MergeVocab {
+    /// Intern the vocabulary into `program`. `inner_vars` are the inner
+    /// accumulators reported by the program's functional form.
+    pub fn install(program: &mut Program, inner_vars: &[(Sym, Ty)]) -> MergeVocab {
+        let state: Vec<(Sym, Ty, String)> = program
+            .state
+            .iter()
+            .map(|d| (d.name, d.ty.clone(), program.name(d.name).to_owned()))
+            .collect();
+        let vars = state
+            .into_iter()
+            .map(|(sym, ty, name)| MergeVar {
+                sym,
+                old: program.interner.fresh(&format!("{name}__d")),
+                ty,
+            })
+            .collect();
+        let inner_named: Vec<(Sym, Ty, String)> = inner_vars
+            .iter()
+            .map(|(s, t)| (*s, t.clone(), program.name(*s).to_owned()))
+            .collect();
+        let inner = inner_named
+            .into_iter()
+            .map(|(orig, ty, name)| MergeInner {
+                orig,
+                t: program.interner.fresh(&format!("{name}__t")),
+                ty,
+            })
+            .collect();
+        let loop_var = program.interner.fresh("__jm");
+        MergeVocab {
+            vars,
+            inner,
+            loop_var,
+        }
+    }
+}
+
+/// A synthesized merge `⊚`: statements over the state variables (seeded
+/// with `d`), their `__d` snapshots, and the `__t` from-zero results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesizedMerge {
+    /// The merge body.
+    pub stmts: Vec<Stmt>,
+}
+
+impl SynthesizedMerge {
+    /// Render as surface syntax.
+    pub fn render(&self, program: &Program) -> String {
+        self.stmts
+            .iter()
+            .map(|s| stmt_to_string(&program.interner, s))
+            .collect()
+    }
+}
+
+/// Execute a synthesized merge: `d ⊚ t`.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn apply_merge(
+    program: &Program,
+    vocab: &MergeVocab,
+    merge: &SynthesizedMerge,
+    state: &StateVec,
+    inner: &InnerResult,
+) -> Result<StateVec> {
+    let mut env = Env::for_program(program);
+    for v in &vocab.vars {
+        let val = state
+            .get(v.sym)
+            .ok_or_else(|| LangError::eval("merge: missing state value"))?;
+        env.set(v.sym, val.clone());
+        env.set(v.old, val.clone());
+    }
+    for iv in &vocab.inner {
+        let val = inner
+            .get(iv.orig)
+            .ok_or_else(|| LangError::eval("merge: missing inner value"))?;
+        env.set(iv.t, val.clone());
+    }
+    exec_stmts(&mut env, &merge.stmts)?;
+    read_state(program, &env)
+}
+
+/// Outcome of merge synthesis.
+#[derive(Debug, Clone)]
+pub struct MergeResult {
+    /// The synthesized merge, or `None` when no merge exists in the
+    /// search space (the loop is not memoryless-liftable as-is; a
+    /// memoryless lift must add inner accumulators first, §5.3).
+    pub merge: Option<SynthesizedMerge>,
+    /// Wall-clock synthesis time.
+    pub elapsed: Duration,
+    /// Per-variable statistics.
+    pub stats: Vec<VarStats>,
+    /// First unsolvable variable, if any.
+    pub failed_var: Option<String>,
+    /// Whether the merge required a loop.
+    pub looped: bool,
+}
+
+fn merge_case(program: &Program, vocab: &MergeVocab, ex: &MergeExample) -> Result<Case> {
+    let mut env = Env::for_program(program);
+    for v in &vocab.vars {
+        let val = ex
+            .state
+            .get(v.sym)
+            .ok_or_else(|| LangError::eval("example missing state value"))?;
+        env.set(v.sym, val.clone());
+        env.set(v.old, val.clone());
+    }
+    for iv in &vocab.inner {
+        let val = ex
+            .inner
+            .get(iv.orig)
+            .ok_or_else(|| LangError::eval("example missing inner value"))?;
+        env.set(iv.t, val.clone());
+    }
+    Ok(Case {
+        env,
+        expected: ex.expected.clone(),
+    })
+}
+
+fn merge_atoms(vocab: &MergeVocab) -> (Vec<VocabEntry>, Vec<VocabEntry>) {
+    use crate::vocab::Side;
+    let mut scalar = constant_atoms();
+    for v in &vocab.vars {
+        if v.ty.is_scalar() {
+            for (sym, side) in [(v.sym, Side::Current), (v.old, Side::Old)] {
+                scalar.push(
+                    VocabEntry::new(Expr::var(sym), v.ty.clone())
+                        .with_side(side)
+                        .with_var(v.sym),
+                );
+            }
+        }
+    }
+    for iv in &vocab.inner {
+        if iv.ty.is_scalar() {
+            scalar.push(
+                VocabEntry::new(Expr::var(iv.t), iv.ty.clone())
+                    .with_side(Side::TField)
+                    .with_var(iv.orig),
+            );
+        }
+    }
+    let mut looped = scalar.clone();
+    looped.push(VocabEntry::int(Expr::var(vocab.loop_var)));
+    for v in &vocab.vars {
+        if let Ty::Seq(elem) = &v.ty {
+            for (sym, side) in [(v.sym, Side::Current), (v.old, Side::Old)] {
+                looped.push(
+                    VocabEntry::new(
+                        Expr::index(Expr::var(sym), Expr::var(vocab.loop_var)),
+                        (**elem).clone(),
+                    )
+                    .with_side(side)
+                    .with_var(v.sym),
+                );
+            }
+        }
+    }
+    for iv in &vocab.inner {
+        if let Ty::Seq(elem) = &iv.ty {
+            looped.push(
+                VocabEntry::new(
+                    Expr::index(Expr::var(iv.t), Expr::var(vocab.loop_var)),
+                    (**elem).clone(),
+                )
+                .with_side(Side::TField)
+                .with_var(iv.orig),
+            );
+        }
+    }
+    (scalar, looped)
+}
+
+/// Origin-relatedness for merge holes (see the join analogue): `s`
+/// prefers the state variables it is or flows into, projected to their
+/// current/`__d` symbols and the matching `__t` inner projections.
+fn merge_related(program: &Program, vocab: &MergeVocab) -> impl Fn(Sym) -> Vec<Sym> {
+    let flow = parsynt_lang::analysis::assigned_from(program);
+    let vocab = vocab.clone();
+    move |s: Sym| {
+        let mut out: Vec<Sym> = Vec::new();
+        let push_var = |v: Sym, out: &mut Vec<Sym>| {
+            if let Some(mv) = vocab.vars.iter().find(|mv| mv.sym == v) {
+                for sym in [mv.sym, mv.old] {
+                    if !out.contains(&sym) {
+                        out.push(sym);
+                    }
+                }
+            }
+            if let Some(iv) = vocab.inner.iter().find(|iv| iv.orig == v) {
+                if !out.contains(&iv.t) {
+                    out.push(iv.t);
+                }
+            }
+        };
+        push_var(s, &mut out);
+        if let Some(targets) = flow.get(&s) {
+            for &v in targets {
+                push_var(v, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Synthesize the merge operator `⊚` for `program` (step (II), loop
+/// summarization).
+///
+/// # Errors
+///
+/// Fails only on interpreter/program errors; an unsynthesizable merge is
+/// reported as `merge: None`.
+pub fn synthesize_merge(
+    program: &mut Program,
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<(MergeResult, MergeVocab)> {
+    let start = Instant::now();
+    let inner_vars: Vec<(Sym, Ty)> = {
+        let f = RightwardFn::new(program)?;
+        f.inner_vars().to_vec()
+    };
+    let vocab = MergeVocab::install(program, &inner_vars);
+    let program: &Program = program;
+    let f = RightwardFn::new(program)?;
+    let analysis = analyze(program);
+    // The ⊚ budget is set by the depth of the *original* loop nest
+    // (§7.2): an inner nest of depth n-1 affords a looped merge.
+    let allow_loops = analysis.loop_depth >= 2;
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let search = merge_examples(&f, profile, &mut rng, cfg.search_examples)?;
+    let verify = merge_examples(&f, profile, &mut rng, cfg.verify_examples)?;
+    let search_cases = search
+        .iter()
+        .map(|ex| merge_case(program, &vocab, ex))
+        .collect::<Result<Vec<_>>>()?;
+    let verify_cases = verify
+        .iter()
+        .map(|ex| merge_case(program, &vocab, ex))
+        .collect::<Result<Vec<_>>>()?;
+
+    let templates = collect_templates(&f);
+    let template_of = |sym: Sym| {
+        templates
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_default()
+    };
+    let ty_map: Vec<(Sym, Ty)> = program
+        .state
+        .iter()
+        .map(|d| (d.name, d.ty.clone()))
+        .chain(inner_vars.iter().cloned())
+        .collect();
+    let ty_of = move |sym: Sym| -> Option<Ty> {
+        ty_map
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, t)| t.clone())
+    };
+
+    let loop_bound = vocab
+        .vars
+        .iter()
+        .filter(|v| v.ty.is_seq())
+        .map(|v| Expr::Len(Box::new(Expr::var(v.old))))
+        .chain(
+            vocab
+                .inner
+                .iter()
+                .filter(|iv| iv.ty.is_seq())
+                .map(|iv| Expr::Len(Box::new(Expr::var(iv.t)))),
+        )
+        .next()
+        .unwrap_or(Expr::Int(0));
+    let (scalar_atoms, loop_atoms) = merge_atoms(&vocab);
+    let related = std::rc::Rc::new(merge_related(program, &vocab));
+
+    // Outer CEGIS loop (see the join analogue): final-verification
+    // counterexamples are promoted into the search set and solving
+    // restarts.
+    let mut extra_cases: Vec<Case> = Vec::new();
+    let mut last_failure: Option<(Vec<VarStats>, String, bool)> = None;
+    for _attempt in 0..3 {
+        let mut search = search_cases.clone();
+        search.extend(extra_cases.iter().cloned());
+        let mut solver = VarSolver::new(
+            program,
+            vocab.loop_var,
+            loop_bound.clone(),
+            scalar_atoms.clone(),
+            loop_atoms.clone(),
+            CaseSet::new(search, verify_cases.clone()),
+            related.clone(),
+            cfg.clone(),
+        );
+
+        let mut solved: Vec<Stmt> = Vec::new();
+        let mut deferred: Vec<Sym> = Vec::new();
+        for sym in analysis.state_in_dependency_order() {
+            let var_templates = template_of(sym);
+            let is_array = program.state_decl(sym).is_some_and(|d| d.ty.is_seq());
+            if is_array {
+                deferred.push(sym);
+                continue;
+            }
+            if !solver.solve_scalar(sym, &var_templates.scalar, &ty_of, &mut solved) {
+                deferred.push(sym);
+            }
+        }
+
+        let mut looped = false;
+        let mut failed: Option<String> = None;
+        if !deferred.is_empty() {
+            if !allow_loops {
+                failed = Some(program.name(deferred[0]).to_owned());
+            } else {
+                looped = true;
+                for &sym in &deferred {
+                    let var_templates = template_of(sym);
+                    let is_array = program.state_decl(sym).is_some_and(|d| d.ty.is_seq());
+                    let templates: Vec<Expr> = var_templates
+                        .looped
+                        .iter()
+                        .chain(&var_templates.scalar)
+                        .cloned()
+                        .collect();
+                    if !solver.solve_in_loop(sym, is_array, &templates, &ty_of) {
+                        failed = Some(program.name(sym).to_owned());
+                        break;
+                    }
+                }
+                solver.finish_loop(&mut solved);
+            }
+        }
+
+        if let Some(var) = failed {
+            return Ok((
+                MergeResult {
+                    merge: None,
+                    elapsed: start.elapsed(),
+                    stats: solver.stats,
+                    failed_var: Some(var),
+                    looped,
+                },
+                vocab,
+            ));
+        }
+
+        let merge = SynthesizedMerge {
+            stmts: crate::simplify::simplify_stmts(&solved),
+        };
+
+        // Final bounded verification on fresh examples; failures become
+        // new search cases.
+        let final_examples = merge_examples(&f, profile, &mut rng, 150)?;
+        let mut bad: Vec<Case> = Vec::new();
+        for ex in &final_examples {
+            let got = apply_merge(program, &vocab, &merge, &ex.state, &ex.inner)?;
+            if got != ex.expected {
+                bad.push(merge_case(program, &vocab, ex)?);
+            }
+        }
+        if bad.is_empty() {
+            return Ok((
+                MergeResult {
+                    merge: Some(merge),
+                    elapsed: start.elapsed(),
+                    stats: solver.stats,
+                    failed_var: None,
+                    looped,
+                },
+                vocab,
+            ));
+        }
+        extra_cases.extend(bad);
+        last_failure = Some((solver.stats, "<final-verification>".to_owned(), looped));
+    }
+    let (stats, var, looped) = last_failure.unwrap_or_default();
+    Ok((
+        MergeResult {
+            merge: None,
+            elapsed: start.elapsed(),
+            stats,
+            failed_var: Some(var),
+            looped,
+        },
+        vocab,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+
+    fn synth(src: &str) -> (Program, MergeResult, MergeVocab) {
+        let mut p = parse(src).unwrap();
+        let cfg = SynthConfig::default();
+        let (result, vocab) = synthesize_merge(&mut p, &InputProfile::default(), &cfg).unwrap();
+        (p, result, vocab)
+    }
+
+    #[test]
+    fn memoryless_mbbs_merge_is_its_outer_body() {
+        let (_, result, _) = synth(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let row : int = 0;\n\
+               for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+               s = max(s + row, 0);\n\
+             }",
+        );
+        let merge = result.merge.expect("memoryless loops always merge");
+        assert!(!result.looped);
+        assert_eq!(merge.stmts.len(), 1);
+    }
+
+    #[test]
+    fn bp_without_lift_has_no_merge() {
+        // Figure 3: bal needs min_offset, which does not exist yet.
+        let (_, result, _) = synth(
+            "input a : seq<seq<int>>;\n\
+             state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               for j in 0 .. len(a[i]) {\n\
+                 lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+                 if (offset + lo < 0) { bal = false; }\n\
+               }\n\
+               offset = offset + lo;\n\
+               if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+             }",
+        );
+        assert!(result.merge.is_none());
+        assert_eq!(result.failed_var.as_deref(), Some("bal"));
+    }
+
+    #[test]
+    fn bp_with_min_offset_lift_merges() {
+        // Figure 4: after the memoryless lift adds min_offset (mo), the
+        // merge exists: bal ⇐ bal && (offset_old + mo >= 0).
+        let (_, result, _) = synth(
+            "input a : seq<seq<int>>;\n\
+             state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               let mo : int = 0;\n\
+               for j in 0 .. len(a[i]) {\n\
+                 lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+                 if (offset + lo < 0) { bal = false; }\n\
+                 mo = min(mo, lo);\n\
+               }\n\
+               offset = offset + lo;\n\
+               if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+             }",
+        );
+        assert!(result.merge.is_some(), "failed at {:?}", result.failed_var);
+    }
+
+    #[test]
+    fn mtls_merge_is_the_zip_loop_of_figure_5b() {
+        let (_, result, _) = synth(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             state mtl : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; mtl = max(mtl, rec[j]); } }",
+        );
+        let merge = result.merge.expect("mtls summarizes with a zip merge");
+        assert!(result.looped);
+        assert!(matches!(merge.stmts.last(), Some(Stmt::For { .. })));
+    }
+}

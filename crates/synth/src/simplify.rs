@@ -1,0 +1,99 @@
+//! Post-synthesis cleanup of joins and merges: constant folding and
+//! unit simplification over every expression, so the reported operators
+//! read like hand-written code (`s && true` → `s`, `x + 0` → `x`).
+//! Simplification runs *before* final verification, so a simplifier bug
+//! cannot silently change the operator's semantics.
+
+use parsynt_lang::ast::{LValue, Stmt};
+use parsynt_rewrite::rules::constant_fold;
+
+/// Simplify every expression in a statement list.
+pub fn simplify_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    stmts.iter().map(simplify_stmt).collect()
+}
+
+fn simplify_stmt(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Let { name, ty, init } => Stmt::Let {
+            name: *name,
+            ty: ty.clone(),
+            init: constant_fold(init),
+        },
+        Stmt::Assign { target, value } => Stmt::Assign {
+            target: LValue {
+                base: target.base,
+                indices: target.indices.iter().map(constant_fold).collect(),
+            },
+            value: constant_fold(value),
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: constant_fold(cond),
+            then_branch: simplify_stmts(then_branch),
+            else_branch: simplify_stmts(else_branch),
+        },
+        Stmt::For { var, bound, body } => Stmt::For {
+            var: *var,
+            bound: constant_fold(bound),
+            body: simplify_stmts(body),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::{Expr, Interner};
+
+    #[test]
+    fn folds_units_inside_statements() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let stmt = Stmt::Assign {
+            target: LValue::var(s),
+            value: Expr::and(Expr::var(s), Expr::Bool(true)),
+        };
+        let out = simplify_stmts(&[stmt]);
+        assert_eq!(
+            out,
+            vec![Stmt::Assign {
+                target: LValue::var(s),
+                value: Expr::var(s)
+            }]
+        );
+    }
+
+    #[test]
+    fn recurses_into_loops_and_ifs() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let j = i.intern("j");
+        let stmt = Stmt::For {
+            var: j,
+            bound: Expr::add(Expr::int(2), Expr::int(3)),
+            body: vec![Stmt::If {
+                cond: Expr::Bool(true),
+                then_branch: vec![Stmt::Assign {
+                    target: LValue::var(s),
+                    value: Expr::add(Expr::var(s), Expr::int(0)),
+                }],
+                else_branch: vec![],
+            }],
+        };
+        let out = simplify_stmts(&[stmt]);
+        let Stmt::For { bound, body, .. } = &out[0] else {
+            panic!()
+        };
+        assert_eq!(bound, &Expr::Int(5));
+        let Stmt::If { then_branch, .. } = &body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { value, .. } = &then_branch[0] else {
+            panic!()
+        };
+        assert_eq!(value, &Expr::var(s));
+    }
+}

@@ -1,0 +1,426 @@
+//! Sketches: loop-body templates with holes (§7.1).
+//!
+//! "The sketch is constructed by replacing every variable in the body of
+//! `h_L` by a hole." A [`Sketch`] keeps the operator structure of the
+//! original update and marks variable positions with fresh hole symbols;
+//! [`solve_sketch`] searches hole fillings in priority order (cheap
+//! candidates first) against a caller-provided check.
+
+use crate::vocab::VocabEntry;
+use parsynt_lang::ast::{BinOp, Expr, Interner, Sym};
+use parsynt_lang::Ty;
+
+/// A hole in a sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hole {
+    /// The placeholder symbol occurring in the template.
+    pub sym: Sym,
+    /// The type a filling must have.
+    pub ty: Ty,
+    /// The variable this hole replaced (if any): hole candidates derived
+    /// from the same variable are tried first, which keeps many-hole
+    /// sketches tractable.
+    pub origin: Option<Sym>,
+}
+
+/// An expression template with holes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    /// The template; hole positions are `Expr::Var(hole.sym)`.
+    pub template: Expr,
+    /// The holes, in left-to-right occurrence order.
+    pub holes: Vec<Hole>,
+}
+
+impl Sketch {
+    /// Substitute a filling (one expression per hole) into the template.
+    pub fn fill(&self, filling: &[&Expr]) -> Expr {
+        debug_assert_eq!(filling.len(), self.holes.len());
+        let mut out = self.template.clone();
+        for (hole, expr) in self.holes.iter().zip(filling) {
+            out = out.substitute(hole.sym, expr);
+        }
+        out
+    }
+}
+
+/// Build a sketch from an update expression: every variable occurrence
+/// (and every `arr[idx]` projection whose index mentions only kept
+/// variables) becomes a typed hole; constants and operators are kept.
+///
+/// * `ty_of` — type oracle for variables (state declarations);
+/// * `keep` — variables to preserve verbatim (e.g. the loop counter of a
+///   looped sketch).
+pub fn holeify(
+    e: &Expr,
+    interner: &mut Interner,
+    ty_of: &dyn Fn(Sym) -> Option<Ty>,
+    keep: &dyn Fn(Sym) -> bool,
+) -> Sketch {
+    let mut holes = Vec::new();
+    let template = go(e, interner, ty_of, keep, &mut holes);
+    Sketch { template, holes }
+}
+
+fn fresh_hole(interner: &mut Interner, holes: &mut Vec<Hole>, ty: Ty, origin: Option<Sym>) -> Expr {
+    let sym = interner.fresh("__hole");
+    holes.push(Hole { sym, ty, origin });
+    Expr::Var(sym)
+}
+
+fn go(
+    e: &Expr,
+    interner: &mut Interner,
+    ty_of: &dyn Fn(Sym) -> Option<Ty>,
+    keep: &dyn Fn(Sym) -> bool,
+    holes: &mut Vec<Hole>,
+) -> Expr {
+    match e {
+        Expr::Var(s) if keep(*s) => e.clone(),
+        Expr::Var(s) => {
+            let ty = ty_of(*s).unwrap_or(Ty::Int);
+            fresh_hole(interner, holes, ty, Some(*s))
+        }
+        Expr::Index(base, _) => {
+            // A whole projection like `rec[j]` becomes a single scalar
+            // hole: the filling decides which array (and side) to read.
+            let ty = index_result_ty(e, ty_of).unwrap_or(Ty::Int);
+            let origin = base_sym(base);
+            fresh_hole(interner, holes, ty, origin)
+        }
+        Expr::Int(_) | Expr::Bool(_) => e.clone(),
+        Expr::Len(a) => Expr::Len(Box::new(go(a, interner, ty_of, keep, holes))),
+        Expr::Zeros(a) => Expr::Zeros(Box::new(go(a, interner, ty_of, keep, holes))),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(go(a, interner, ty_of, keep, holes))),
+        Expr::Binary(op, a, b) => Expr::bin(
+            *op,
+            go(a, interner, ty_of, keep, holes),
+            go(b, interner, ty_of, keep, holes),
+        ),
+        Expr::Ite(c, t, e2) => Expr::ite(
+            go(c, interner, ty_of, keep, holes),
+            go(t, interner, ty_of, keep, holes),
+            go(e2, interner, ty_of, keep, holes),
+        ),
+    }
+}
+
+fn base_sym(e: &Expr) -> Option<Sym> {
+    match e {
+        Expr::Var(s) => Some(*s),
+        Expr::Index(base, _) => base_sym(base),
+        _ => None,
+    }
+}
+
+fn index_result_ty(e: &Expr, ty_of: &dyn Fn(Sym) -> Option<Ty>) -> Option<Ty> {
+    match e {
+        Expr::Var(s) => ty_of(*s),
+        Expr::Index(base, _) => match index_result_ty(base, ty_of)? {
+            Ty::Seq(elem) => Some(*elem),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Type-directed generic sketches, tried when the loop body offers no
+/// template for a variable (typically auxiliary accumulators or state
+/// written only inside inner loops). Ordered cheapest-first; hole
+/// candidates include depth-2 compounds, so e.g.
+/// `b && (x + y >= z)` — the balanced-parentheses `bal` merge — is
+/// reachable from the third boolean shape.
+#[allow(clippy::type_complexity)]
+pub fn generic_sketches(target_ty: &Ty, interner: &mut Interner) -> Vec<Sketch> {
+    let mut out = Vec::new();
+    let hole = |interner: &mut Interner, holes: &mut Vec<Hole>, ty: Ty| {
+        let sym = interner.fresh("__ghole");
+        holes.push(Hole {
+            sym,
+            ty,
+            origin: None,
+        });
+        Expr::Var(sym)
+    };
+    let mut push = |interner: &mut Interner, build: &dyn Fn(&mut dyn FnMut(Ty) -> Expr) -> Expr| {
+        let mut holes = Vec::new();
+        let template = {
+            let mut mk = |ty: Ty| hole(interner, &mut holes, ty);
+            build(&mut mk)
+        };
+        out.push(Sketch { template, holes });
+    };
+    match target_ty {
+        Ty::Bool => {
+            // A single hole (atoms + compound comparisons).
+            push(interner, &|mk| mk(Ty::Bool));
+            push(interner, &|mk| Expr::and(mk(Ty::Bool), mk(Ty::Bool)));
+            push(interner, &|mk| Expr::or(mk(Ty::Bool), mk(Ty::Bool)));
+            for op in [BinOp::Ge, BinOp::Gt, BinOp::Le, BinOp::Eq] {
+                push(interner, &move |mk| {
+                    Expr::and(
+                        mk(Ty::Bool),
+                        Expr::bin(op, Expr::add(mk(Ty::Int), mk(Ty::Int)), mk(Ty::Int)),
+                    )
+                });
+            }
+            push(interner, &|mk| {
+                Expr::and(mk(Ty::Bool), Expr::and(mk(Ty::Bool), mk(Ty::Bool)))
+            });
+            push(interner, &|mk| {
+                Expr::and(mk(Ty::Bool), Expr::or(mk(Ty::Bool), mk(Ty::Bool)))
+            });
+        }
+        Ty::Int => {
+            push(interner, &|mk| mk(Ty::Int));
+            for op in [BinOp::Max, BinOp::Min, BinOp::Add, BinOp::Sub] {
+                push(interner, &move |mk| Expr::bin(op, mk(Ty::Int), mk(Ty::Int)));
+            }
+            push(interner, &|mk| {
+                Expr::ite(mk(Ty::Bool), mk(Ty::Int), mk(Ty::Int))
+            });
+            push(interner, &|mk| {
+                Expr::add(
+                    mk(Ty::Int),
+                    Expr::ite(mk(Ty::Bool), Expr::int(1), Expr::int(0)),
+                )
+            });
+        }
+        Ty::Seq(_) => {}
+    }
+    out
+}
+
+/// Search hole fillings for `sketch` in order of total candidate weight
+/// (the sum of per-hole candidate indices), calling `check` on each
+/// filled template. Returns the first accepted expression and the number
+/// of candidates tried.
+///
+/// Candidates are matched to holes by type; a hole with no candidates of
+/// its type makes the sketch unsolvable.
+pub fn solve_sketch(
+    sketch: &Sketch,
+    candidates: &[VocabEntry],
+    max_tries: usize,
+    check: &mut dyn FnMut(&Expr) -> bool,
+) -> Option<(Expr, usize)> {
+    solve_sketch_related(sketch, candidates, max_tries, &|_| Vec::new(), check)
+}
+
+/// [`solve_sketch`] with an origin-relatedness oracle: for a hole that
+/// replaced variable `v`, candidates mentioning any of `related(v)` are
+/// tried first (e.g. `v__l`, `v__r` in a join). This keeps sketches with
+/// many holes tractable — the natural solution assigns most holes their
+/// own variable's projection.
+pub fn solve_sketch_related(
+    sketch: &Sketch,
+    candidates: &[VocabEntry],
+    max_tries: usize,
+    related: &dyn Fn(Sym) -> Vec<Sym>,
+    check: &mut dyn FnMut(&Expr) -> bool,
+) -> Option<(Expr, usize)> {
+    let per_hole: Vec<Vec<&Expr>> = sketch
+        .holes
+        .iter()
+        .map(|h| {
+            let mut list: Vec<&Expr> = candidates
+                .iter()
+                .filter(|c| c.ty == h.ty)
+                .map(|c| &c.expr)
+                .collect();
+            if let Some(origin) = h.origin {
+                let rel = related(origin);
+                if !rel.is_empty() {
+                    // Stable partition: related-candidates first.
+                    list.sort_by_key(|e| {
+                        let mentions_rel = rel.iter().any(|&r| e.mentions(r));
+                        // Related atoms, then related compounds, then rest.
+                        match (mentions_rel, e.size()) {
+                            (true, 1) => 0u8,
+                            (true, _) => 1,
+                            (false, 1) => 2,
+                            (false, _) => 3,
+                        }
+                    });
+                }
+            }
+            list
+        })
+        .collect();
+    if per_hole.iter().any(Vec::is_empty) {
+        return None;
+    }
+    if sketch.holes.is_empty() {
+        return check(&sketch.template).then(|| (sketch.template.clone(), 1));
+    }
+
+    let max_weight: usize = per_hole.iter().map(|c| c.len() - 1).sum();
+    let mut tries = 0usize;
+    let mut filling: Vec<usize> = vec![0; per_hole.len()];
+    for weight in 0..=max_weight {
+        if tries >= max_tries {
+            return None;
+        }
+        if let Some(found) = try_weight(
+            sketch,
+            &per_hole,
+            weight,
+            0,
+            &mut filling,
+            &mut tries,
+            max_tries,
+            check,
+        ) {
+            return Some((found, tries));
+        }
+    }
+    None
+}
+
+/// Enumerate index tuples of exactly `weight` distributed over the holes
+/// from `pos` onward; returns the first accepted filled template.
+#[allow(clippy::too_many_arguments)]
+fn try_weight(
+    sketch: &Sketch,
+    per_hole: &[Vec<&Expr>],
+    weight: usize,
+    pos: usize,
+    filling: &mut Vec<usize>,
+    tries: &mut usize,
+    max_tries: usize,
+    check: &mut dyn FnMut(&Expr) -> bool,
+) -> Option<Expr> {
+    if *tries >= max_tries {
+        return None;
+    }
+    if pos == per_hole.len() {
+        if weight != 0 {
+            return None;
+        }
+        *tries += 1;
+        let exprs: Vec<&Expr> = filling.iter().zip(per_hole).map(|(&i, c)| c[i]).collect();
+        let candidate = sketch.fill(&exprs);
+        return check(&candidate).then_some(candidate);
+    }
+    // Remaining holes can absorb at most this much weight.
+    let rest_capacity: usize = per_hole[pos + 1..].iter().map(|c| c.len() - 1).sum();
+    let lo = weight.saturating_sub(rest_capacity);
+    let hi = weight.min(per_hole[pos].len() - 1);
+    for i in lo..=hi {
+        filling[pos] = i;
+        if let Some(found) = try_weight(
+            sketch,
+            per_hole,
+            weight - i,
+            pos + 1,
+            filling,
+            tries,
+            max_tries,
+            check,
+        ) {
+            return Some(found);
+        }
+        if *tries >= max_tries {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holeify_replaces_vars_keeps_structure() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let a = i.intern("a");
+        // max(s + a, 0)
+        let e = Expr::max(Expr::add(Expr::var(s), Expr::var(a)), Expr::int(0));
+        let sketch = holeify(&e, &mut i, &|_| Some(Ty::Int), &|_| false);
+        assert_eq!(sketch.holes.len(), 2);
+        assert!(matches!(sketch.template, Expr::Binary(BinOp::Max, _, _)));
+        // The constant 0 survives.
+        let mut zero_count = 0;
+        sketch.template.walk(&mut |sub| {
+            if *sub == Expr::Int(0) {
+                zero_count += 1;
+            }
+        });
+        assert_eq!(zero_count, 1);
+    }
+
+    #[test]
+    fn holeify_collapses_indexed_reads() {
+        let mut i = Interner::new();
+        let rec = i.intern("rec");
+        let j = i.intern("j");
+        // rec[j] + 1 with `j` kept: one scalar hole plus the constant.
+        let e = Expr::add(Expr::index(Expr::var(rec), Expr::var(j)), Expr::int(1));
+        let sketch = holeify(
+            &e,
+            &mut i,
+            &|s| (s == rec).then(|| Ty::seq(Ty::Int)),
+            &|s| s == j,
+        );
+        assert_eq!(sketch.holes.len(), 1);
+        assert_eq!(sketch.holes[0].ty, Ty::Int);
+    }
+
+    #[test]
+    fn solve_sketch_finds_weighted_first_solution() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let e = Expr::add(Expr::var(s), Expr::var(s));
+        let sketch = holeify(&e, &mut i, &|_| Some(Ty::Int), &|_| false);
+        let c1 = VocabEntry::int(Expr::int(1));
+        let c2 = VocabEntry::int(Expr::int(2));
+        let c3 = VocabEntry::int(Expr::int(3));
+        // Accept only 2 + 3 or 3 + 2 (total 5).
+        let mut check =
+            |e: &Expr| {
+                parsynt_lang::interp::eval_expr(
+                &parsynt_lang::interp::Env::for_program(&parsynt_lang::parse(
+                    "input q : seq<int>; state w : int = 0; for i in 0 .. len(q) { w = 0; }",
+                )
+                .unwrap()),
+                e,
+            )
+            .ok()
+                == Some(parsynt_lang::Value::Int(5))
+            };
+        let (found, tries) =
+            solve_sketch(&sketch, &[c1, c2, c3], 1000, &mut check).expect("solvable");
+        assert_eq!(found, Expr::add(Expr::int(2), Expr::int(3)));
+        // Weighted order: (1,1)w0 (1,2)(2,1)w1 (1,3)(2,2)(3,1)w2 (2,3)hit.
+        assert!(tries <= 7, "tries = {tries}");
+    }
+
+    #[test]
+    fn solve_sketch_respects_type_filter() {
+        let mut i = Interner::new();
+        let b = i.intern("b");
+        let e = Expr::var(b);
+        let sketch = holeify(&e, &mut i, &|_| Some(Ty::Bool), &|_| false);
+        // Only int candidates available: unsolvable.
+        let ints = [VocabEntry::int(Expr::int(1))];
+        assert!(solve_sketch(&sketch, &ints, 100, &mut |_| true).is_none());
+    }
+
+    #[test]
+    fn solve_sketch_honors_try_budget() {
+        let mut i = Interner::new();
+        let s = i.intern("s");
+        let e = Expr::add(Expr::var(s), Expr::var(s));
+        let sketch = holeify(&e, &mut i, &|_| Some(Ty::Int), &|_| false);
+        let candidates: Vec<VocabEntry> = (0..50).map(|n| VocabEntry::int(Expr::int(n))).collect();
+        let mut calls = 0usize;
+        let result = solve_sketch(&sketch, &candidates, 10, &mut |_| {
+            calls += 1;
+            false
+        });
+        assert!(result.is_none());
+        assert!(calls <= 10);
+    }
+}

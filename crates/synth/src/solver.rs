@@ -1,0 +1,450 @@
+//! The per-variable synthesis core shared by join (`⊙`) and merge (`⊚`)
+//! synthesis — the two problems are "nearly identical" (§7.2), differing
+//! only in vocabulary and example construction.
+//!
+//! Variables are solved one at a time in dependency order (the
+//! incremental strategy of §9 "Implementation"): once the join component
+//! for `D_i` is synthesized, only the components for `D_{i+1} \ D_i`
+//! remain, and their candidates may reference the already-joined values.
+
+use crate::enumerate::Enumerator;
+use crate::report::{SynthConfig, VarStats};
+use crate::sketch::{generic_sketches, holeify, solve_sketch_related, Sketch};
+use crate::vocab::{compound_candidates, VocabEntry};
+use parsynt_lang::ast::{Expr, LValue, Program, Stmt, Sym};
+use parsynt_lang::interp::{exec_stmt, exec_stmts, Env, StateVec};
+use parsynt_lang::{Ty, Value};
+
+/// One example the candidate operator must satisfy: an environment with
+/// the operator's inputs bound, and the expected full output state.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Environment with vocabulary symbols bound and current state
+    /// variables seeded.
+    pub env: Env,
+    /// Expected value of every state variable after the operator runs.
+    pub expected: StateVec,
+}
+
+/// The search and verification example sets. Candidates must match every
+/// search case; survivors are re-checked on the verify cases, and any
+/// verify failure is promoted into the search set (the CEGIS loop).
+#[derive(Debug, Clone, Default)]
+pub struct CaseSet {
+    /// Cases every candidate is screened against.
+    pub search: Vec<Case>,
+    /// Held-out cases for bounded verification.
+    pub verify: Vec<Case>,
+}
+
+impl CaseSet {
+    /// Build from search and verify cases.
+    pub fn new(search: Vec<Case>, verify: Vec<Case>) -> Self {
+        CaseSet { search, verify }
+    }
+
+    fn check_stmts(case: &Case, stmts: &[Stmt], target: Sym) -> bool {
+        let mut env = case.env.clone();
+        if exec_stmts(&mut env, stmts).is_err() {
+            return false;
+        }
+        match (env.get(target), case.expected.get(target)) {
+            (Ok(got), Some(want)) => got == want,
+            _ => false,
+        }
+    }
+
+    /// CEGIS acceptance test for a candidate statement list.
+    pub fn accepts(&mut self, stmts: &[Stmt], target: Sym) -> bool {
+        if !self
+            .search
+            .iter()
+            .all(|c| Self::check_stmts(c, stmts, target))
+        {
+            return false;
+        }
+        if let Some(pos) = self
+            .verify
+            .iter()
+            .position(|c| !Self::check_stmts(c, stmts, target))
+        {
+            // Promote the counterexample into the search set (and out of
+            // the verify set, so it is not re-checked twice per candidate).
+            let bad = self.verify.swap_remove(pos);
+            self.search.push(bad);
+            return false;
+        }
+        true
+    }
+
+    /// Execute a solved statement into every case environment (so later
+    /// variables see the joined values of earlier ones).
+    pub fn commit(&mut self, stmt: &Stmt) {
+        for case in self.search.iter_mut().chain(self.verify.iter_mut()) {
+            let _ = exec_stmt(&mut case.env, stmt);
+        }
+    }
+}
+
+/// The evolving solver state.
+pub struct VarSolver<'p> {
+    program: &'p Program,
+    /// Loop counter symbol for looped candidates.
+    pub loop_var: Sym,
+    /// Loop bound expression for looped candidates (e.g. `len(rec__l)`).
+    pub loop_bound: Expr,
+    /// Atoms available to scalar candidates.
+    pub scalar_atoms: Vec<VocabEntry>,
+    /// Atoms available inside loop bodies (scalar atoms + `x[j]`
+    /// projections + the loop counter).
+    pub loop_atoms: Vec<VocabEntry>,
+    /// The example sets.
+    pub cases: CaseSet,
+    /// Loop-resident statements solved so far (executed before each
+    /// in-loop candidate, sequentially per iteration).
+    pub loop_body: Vec<Stmt>,
+    /// Per-variable statistics.
+    pub stats: Vec<VarStats>,
+    /// Origin-relatedness oracle: for a hole that replaced variable `v`,
+    /// candidates mentioning `related(v)` are tried first.
+    pub related: std::rc::Rc<dyn Fn(Sym) -> Vec<Sym>>,
+    cfg: SynthConfig,
+}
+
+impl<'p> VarSolver<'p> {
+    /// Create a solver.
+    #[allow(clippy::too_many_arguments)] // mirrors the operator's moving parts
+    pub fn new(
+        program: &'p Program,
+        loop_var: Sym,
+        loop_bound: Expr,
+        scalar_atoms: Vec<VocabEntry>,
+        loop_atoms: Vec<VocabEntry>,
+        cases: CaseSet,
+        related: std::rc::Rc<dyn Fn(Sym) -> Vec<Sym>>,
+        cfg: SynthConfig,
+    ) -> Self {
+        VarSolver {
+            program,
+            loop_var,
+            loop_bound,
+            scalar_atoms,
+            loop_atoms,
+            cases,
+            loop_body: Vec::new(),
+            stats: Vec::new(),
+            related,
+            cfg,
+        }
+    }
+
+    /// The program the operator is being synthesized for.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Total candidates tried across all variables so far.
+    pub fn total_tries(&self) -> usize {
+        self.stats.iter().map(|s| s.tries).sum()
+    }
+
+    /// Attempt to solve `target` as a plain (non-looped) assignment.
+    /// `templates` are sketch sources (update expressions from the loop
+    /// body); the fallback is bottom-up enumeration. On success the
+    /// statement is appended to `solved` and executed into every case
+    /// environment.
+    pub fn solve_scalar(
+        &mut self,
+        target: Sym,
+        templates: &[Expr],
+        ty_of: &dyn Fn(Sym) -> Option<Ty>,
+        solved: &mut Vec<Stmt>,
+    ) -> bool {
+        let target_ty = ty_of(target).unwrap_or(Ty::Int);
+        let make_stmt = |expr: &Expr| Stmt::Assign {
+            target: LValue::var(target),
+            value: expr.clone(),
+        };
+        let mut tries = 0usize;
+
+        // 1. Sketch-guided search.
+        if self.cfg.use_sketches {
+            let candidates: Vec<VocabEntry> = self
+                .scalar_atoms
+                .iter()
+                .cloned()
+                .chain(compound_candidates(&self.scalar_atoms, true))
+                .collect();
+            for template in templates {
+                let mut interner = self.program.interner.clone();
+                let sketch = holeify(template, &mut interner, ty_of, &|_| false);
+                let cases = &mut self.cases;
+                let related = self.related.clone();
+                let mut local_tries = 0usize;
+                let found = solve_sketch_related(
+                    &sketch,
+                    &candidates,
+                    self.cfg.max_sketch_tries,
+                    &|s| related(s),
+                    &mut |e| {
+                        local_tries += 1;
+                        cases.accepts(&[make_stmt(e)], target)
+                    },
+                );
+                tries += local_tries;
+                if let Some((expr, _)) = found {
+                    return self.accept_scalar(target, expr, tries, true, solved);
+                }
+            }
+
+            // 2. Type-directed generic sketches (for variables with no
+            // usable template, e.g. state written only inside the inner
+            // nest, or freshly lifted accumulators).
+            let mut interner = self.program.interner.clone();
+            let generic: Vec<Sketch> = generic_sketches(&target_ty, &mut interner);
+            for sketch in &generic {
+                let cases = &mut self.cases;
+                let related = self.related.clone();
+                let mut local_tries = 0usize;
+                let found = solve_sketch_related(
+                    sketch,
+                    &candidates,
+                    self.cfg.max_sketch_tries,
+                    &|s| related(s),
+                    &mut |e| {
+                        local_tries += 1;
+                        cases.accepts(&[make_stmt(e)], target)
+                    },
+                );
+                tries += local_tries;
+                if let Some((expr, _)) = found {
+                    return self.accept_scalar(target, expr, tries, true, solved);
+                }
+            }
+        }
+
+        // 3. Enumerative fallback.
+        let probes: Vec<Env> = self
+            .cases
+            .search
+            .iter()
+            .take(24)
+            .map(|c| c.env.clone())
+            .collect();
+        let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone());
+        let found = {
+            let cases = &mut self.cases;
+            enumerator.solve(&self.scalar_atoms, &target_ty, &mut |e| {
+                tries += 1;
+                cases.accepts(&[make_stmt(e)], target)
+            })
+        };
+        if let Some(expr) = found {
+            return self.accept_scalar(target, expr, tries, false, solved);
+        }
+        false
+    }
+
+    fn accept_scalar(
+        &mut self,
+        target: Sym,
+        expr: Expr,
+        tries: usize,
+        from_sketch: bool,
+        solved: &mut Vec<Stmt>,
+    ) -> bool {
+        let stmt = Stmt::Assign {
+            target: LValue::var(target),
+            value: expr,
+        };
+        if self.cfg.incremental {
+            self.cases.commit(&stmt);
+        }
+        self.stats.push(VarStats {
+            name: self.program.name(target).to_owned(),
+            tries,
+            from_sketch,
+            in_loop: false,
+        });
+        solved.push(stmt);
+        true
+    }
+
+    /// Attempt to solve `target` inside the loop skeleton: the candidate
+    /// loop executes all previously solved loop-resident assignments and
+    /// the new one, sequentially per iteration (the extended sketch of
+    /// §7.1 where "variables may have to be referenced on the right-hand
+    /// side ... to effectively implement recursion").
+    ///
+    /// `is_array` selects between `target[j] = e` and `target = e`.
+    pub fn solve_in_loop(
+        &mut self,
+        target: Sym,
+        is_array: bool,
+        templates: &[Expr],
+        ty_of: &dyn Fn(Sym) -> Option<Ty>,
+    ) -> bool {
+        let elem_ty = if is_array {
+            match ty_of(target) {
+                Some(Ty::Seq(elem)) => *elem,
+                _ => Ty::Int,
+            }
+        } else {
+            ty_of(target).unwrap_or(Ty::Int)
+        };
+        let loop_var = self.loop_var;
+        let loop_bound = self.loop_bound.clone();
+        // Monolithic mode: each variable's loop stands alone, so its
+        // candidates cannot lean on already-solved loop-resident updates.
+        let prior_body = if self.cfg.incremental {
+            self.loop_body.clone()
+        } else {
+            Vec::new()
+        };
+        let make_loop = |expr: &Expr| {
+            let assign = if is_array {
+                Stmt::Assign {
+                    target: LValue::indexed(target, Expr::var(loop_var)),
+                    value: expr.clone(),
+                }
+            } else {
+                Stmt::Assign {
+                    target: LValue::var(target),
+                    value: expr.clone(),
+                }
+            };
+            let mut body = prior_body.clone();
+            body.push(assign);
+            Stmt::For {
+                var: loop_var,
+                bound: loop_bound.clone(),
+                body,
+            }
+        };
+        let mut tries = 0usize;
+
+        // 1. Sketch-guided search.
+        if self.cfg.use_sketches {
+            let candidates: Vec<VocabEntry> = self
+                .loop_atoms
+                .iter()
+                .cloned()
+                .chain(compound_candidates(&self.loop_atoms, true))
+                .collect();
+            for template in templates {
+                let mut interner = self.program.interner.clone();
+                let sketch = holeify(template, &mut interner, ty_of, &|_| false);
+                let cases = &mut self.cases;
+                let related = self.related.clone();
+                let mut local_tries = 0usize;
+                let found = solve_sketch_related(
+                    &sketch,
+                    &candidates,
+                    self.cfg.max_sketch_tries,
+                    &|s| related(s),
+                    &mut |e| {
+                        local_tries += 1;
+                        let stmt = make_loop(e);
+                        cases.accepts(std::slice::from_ref(&stmt), target)
+                    },
+                );
+                tries += local_tries;
+                if let Some((expr, _)) = found {
+                    return self.accept_in_loop(target, is_array, expr, tries, true);
+                }
+            }
+
+            // 2. Type-directed generic sketches.
+            let mut interner = self.program.interner.clone();
+            let generic: Vec<Sketch> = generic_sketches(&elem_ty, &mut interner);
+            for sketch in &generic {
+                let cases = &mut self.cases;
+                let related = self.related.clone();
+                let mut local_tries = 0usize;
+                let found = solve_sketch_related(
+                    sketch,
+                    &candidates,
+                    self.cfg.max_sketch_tries,
+                    &|s| related(s),
+                    &mut |e| {
+                        local_tries += 1;
+                        let stmt = make_loop(e);
+                        cases.accepts(std::slice::from_ref(&stmt), target)
+                    },
+                );
+                tries += local_tries;
+                if let Some((expr, _)) = found {
+                    return self.accept_in_loop(target, is_array, expr, tries, true);
+                }
+            }
+        }
+
+        // 3. Enumerative fallback: probes bind the loop counter to a few
+        // concrete indices so indexed atoms evaluate.
+        let mut probes = Vec::new();
+        for case in self.cases.search.iter().take(10) {
+            for j in 0..3i64 {
+                let mut env = case.env.clone();
+                env.set(self.loop_var, Value::Int(j));
+                probes.push(env);
+            }
+        }
+        let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone());
+        let found = {
+            let cases = &mut self.cases;
+            enumerator.solve(&self.loop_atoms, &elem_ty, &mut |e| {
+                tries += 1;
+                let stmt = make_loop(e);
+                cases.accepts(std::slice::from_ref(&stmt), target)
+            })
+        };
+        if let Some(expr) = found {
+            return self.accept_in_loop(target, is_array, expr, tries, false);
+        }
+        false
+    }
+
+    fn accept_in_loop(
+        &mut self,
+        target: Sym,
+        is_array: bool,
+        expr: Expr,
+        tries: usize,
+        from_sketch: bool,
+    ) -> bool {
+        let assign = if is_array {
+            Stmt::Assign {
+                target: LValue::indexed(target, Expr::var(self.loop_var)),
+                value: expr,
+            }
+        } else {
+            Stmt::Assign {
+                target: LValue::var(target),
+                value: expr,
+            }
+        };
+        self.loop_body.push(assign);
+        self.stats.push(VarStats {
+            name: self.program.name(target).to_owned(),
+            tries,
+            from_sketch,
+            in_loop: true,
+        });
+        true
+    }
+
+    /// Finalize the loop phase: build the combined loop statement, append
+    /// it to `solved`, and execute it into every case environment.
+    pub fn finish_loop(&mut self, solved: &mut Vec<Stmt>) {
+        if self.loop_body.is_empty() {
+            return;
+        }
+        let stmt = Stmt::For {
+            var: self.loop_var,
+            bound: self.loop_bound.clone(),
+            body: std::mem::take(&mut self.loop_body),
+        };
+        self.cases.commit(&stmt);
+        solved.push(stmt);
+    }
+}

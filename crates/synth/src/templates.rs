@@ -1,0 +1,224 @@
+//! Sketch template extraction from loop bodies.
+//!
+//! §7.1: "The sketch is constructed by replacing every variable in the
+//! body of `h_L` by a hole." This module recovers, per state variable,
+//! the update expressions of the body — via symbolic execution when the
+//! body is loop-free (so conditional updates fold into `?:` templates),
+//! and via guarded-assignment collection inside loops.
+
+use parsynt_lang::ast::{Expr, Program, Stmt, Sym};
+use parsynt_lang::functional::RightwardFn;
+use parsynt_rewrite::symbolic::{sym_exec_all, SymEnv, SymVal};
+
+/// Templates available for one state variable.
+#[derive(Debug, Clone, Default)]
+pub struct VarTemplates {
+    /// Templates usable for a plain (non-looped) candidate.
+    pub scalar: Vec<Expr>,
+    /// Templates usable inside a loop skeleton.
+    pub looped: Vec<Expr>,
+}
+
+/// Collect templates for every state variable of the program.
+///
+/// * Scalar templates come from symbolically executing the loop-free
+///   outer phase (all variables bound to themselves as leaves), falling
+///   back to raw right-hand sides.
+/// * Looped templates are guard-wrapped right-hand sides of assignments
+///   occurring under any `for` in the body.
+pub fn collect_templates(f: &RightwardFn<'_>) -> Vec<(Sym, VarTemplates)> {
+    let program = f.program();
+    let mut out: Vec<(Sym, VarTemplates)> = program
+        .state_syms()
+        .into_iter()
+        .map(|s| (s, VarTemplates::default()))
+        .collect();
+
+    // 1. Symbolic execution of the outer phase.
+    if let Some(env) = outer_phase_symbolic(f) {
+        for (sym, templates) in &mut out {
+            if let Ok(SymVal::Scalar(e)) = env.get(*sym) {
+                // Only record if the variable actually changed.
+                if *e != Expr::Var(*sym) {
+                    templates.scalar.push(e.clone());
+                }
+            }
+        }
+    }
+
+    // 2. Raw and guard-wrapped right-hand sides, split by loop context.
+    // The walk starts inside the outermost loop's body: only loops nested
+    // within it count as "loop context" for template bucketing.
+    for (sym, templates) in &mut out {
+        let mut guards: Vec<Expr> = Vec::new();
+        collect_rhs(
+            program,
+            f.inner_phase(),
+            *sym,
+            false,
+            &mut guards,
+            templates,
+        );
+        collect_rhs(
+            program,
+            f.outer_phase(),
+            *sym,
+            false,
+            &mut guards,
+            templates,
+        );
+    }
+    out
+}
+
+/// Symbolically execute the outer phase with every referenced variable
+/// bound to itself as a leaf. `None` if the phase contains loops or any
+/// other construct symbolic execution cannot handle.
+fn outer_phase_symbolic(f: &RightwardFn<'_>) -> Option<SymEnv> {
+    let program = f.program();
+    let mut env = SymEnv::new();
+    for decl in &program.state {
+        if !decl.ty.is_scalar() {
+            // Array state cannot be a scalar leaf; outer phases touching
+            // it are handled by looped templates instead.
+            continue;
+        }
+        env.set(decl.name, SymVal::leaf(decl.name));
+    }
+    for (sym, ty) in f.inner_vars() {
+        if ty.is_scalar() {
+            env.set(*sym, SymVal::leaf(*sym));
+        }
+    }
+    for input in &program.inputs {
+        env.set(input.name, SymVal::leaf(input.name));
+    }
+    env.set(f.loop_var(), SymVal::leaf(f.loop_var()));
+    sym_exec_all(&mut env, f.outer_phase()).ok()?;
+    Some(env)
+}
+
+#[allow(clippy::only_used_in_recursion)]
+fn collect_rhs(
+    program: &Program,
+    stmts: &[Stmt],
+    target: Sym,
+    in_loop: bool,
+    guards: &mut Vec<Expr>,
+    templates: &mut VarTemplates,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target: lv, value } if lv.base == target => {
+                let prev = if lv.indices.is_empty() {
+                    Expr::Var(target)
+                } else {
+                    // Inside a loop the previous value is the indexed cell.
+                    Expr::index(Expr::Var(target), lv.indices[0].clone())
+                };
+                let wrapped = guards.iter().rev().fold(value.clone(), |acc, g| {
+                    Expr::ite(g.clone(), acc, prev.clone())
+                });
+                let bucket = if in_loop {
+                    &mut templates.looped
+                } else {
+                    &mut templates.scalar
+                };
+                let guarded = wrapped != *value;
+                if !bucket.contains(&wrapped) {
+                    bucket.push(wrapped);
+                }
+                if guarded && !bucket.contains(value) {
+                    bucket.push(value.clone());
+                }
+            }
+            Stmt::Assign { .. } | Stmt::Let { .. } => {}
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                guards.push(cond.clone());
+                collect_rhs(program, then_branch, target, in_loop, guards, templates);
+                guards.pop();
+                guards.push(Expr::Unary(
+                    parsynt_lang::ast::UnOp::Not,
+                    Box::new(cond.clone()),
+                ));
+                collect_rhs(program, else_branch, target, in_loop, guards, templates);
+                guards.pop();
+            }
+            Stmt::For { body, .. } => {
+                collect_rhs(program, body, target, true, guards, templates);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+
+    #[test]
+    fn scalar_template_from_symbolic_outer_phase() {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let row : int = 0;\n\
+               for j in 0 .. len(a[i]) { row = row + a[i][j]; }\n\
+               s = max(s + row, 0);\n\
+             }",
+        )
+        .unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let templates = collect_templates(&f);
+        let s = p.sym("s").unwrap();
+        let t = &templates.iter().find(|(sym, _)| *sym == s).unwrap().1;
+        assert!(!t.scalar.is_empty());
+        // The symbolic template mirrors the update max(s + row, 0).
+        let expected = Expr::max(
+            Expr::add(Expr::Var(s), Expr::Var(p.sym("row").unwrap())),
+            Expr::int(0),
+        );
+        assert!(t.scalar.contains(&expected), "templates: {t:?}");
+    }
+
+    #[test]
+    fn guarded_update_becomes_ite_template() {
+        let p = parse(
+            "input a : seq<int>; state cnt : int = 0;\n\
+             for i in 0 .. len(a) { if (a[i] > 0) { cnt = cnt + 1; } }",
+        )
+        .unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let templates = collect_templates(&f);
+        let cnt = p.sym("cnt").unwrap();
+        let t = &templates.iter().find(|(sym, _)| *sym == cnt).unwrap().1;
+        // Both the symbolic ite-form and the guard-wrapped RHS exist.
+        assert!(
+            t.scalar.iter().any(|e| matches!(e, Expr::Ite(..))),
+            "templates: {t:?}"
+        );
+    }
+
+    #[test]
+    fn looped_updates_land_in_looped_bucket() {
+        let p = parse(
+            "input a : seq<seq<int>>; state rec : seq<int> = zeros(len(a[0]));\n\
+             state mtl : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+               rec[j] = rec[j] + a[i][j]; mtl = max(mtl, rec[j]); } }",
+        )
+        .unwrap();
+        let f = RightwardFn::new(&p).unwrap();
+        let templates = collect_templates(&f);
+        let rec = p.sym("rec").unwrap();
+        let mtl = p.sym("mtl").unwrap();
+        let t_rec = &templates.iter().find(|(s, _)| *s == rec).unwrap().1;
+        let t_mtl = &templates.iter().find(|(s, _)| *s == mtl).unwrap().1;
+        assert!(!t_rec.looped.is_empty());
+        assert!(!t_mtl.looped.is_empty());
+        assert!(t_rec.scalar.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Typed vocabularies: the atoms and small compound terms hole
+//! candidates and the fallback grammar are drawn from.
+//!
+//! The weak-inverse insight of §7.1 shapes these: a join within the
+//! complexity budget can only consume the left/right *states* (whose
+//! weak-inverse images have constant length), so the vocabulary is the
+//! set of state-variable projections — not arbitrary input terms.
+//!
+//! Two further restrictions keep many-hole sketches tractable:
+//!
+//! * compounds only combine atoms from *different sides* (a join term
+//!   like `cur_l + sum_r` bridges the two chunks; same-side arithmetic
+//!   is already expressible by the chunk's own loop), and
+//! * compounds over the *same variable*'s two sides (`v_l + v_r`, the
+//!   ubiquitous sum/zip join) are ordered first.
+
+use parsynt_lang::ast::{BinOp, Expr, Sym, UnOp};
+use parsynt_lang::Ty;
+
+/// Which operand of the operator an atom projects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left chunk's state (`v__l`).
+    Left,
+    /// The right chunk's state (`v__r`).
+    Right,
+    /// The evolving current value (join) / the `d` state (merge).
+    Current,
+    /// A pre-operator snapshot (`v__d` in merges).
+    Old,
+    /// An inner-result projection (`v__t` in merges).
+    TField,
+    /// A literal constant.
+    Const,
+}
+
+/// A typed candidate term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VocabEntry {
+    /// The candidate expression.
+    pub expr: Expr,
+    /// Its type.
+    pub ty: Ty,
+    /// Operand side (drives compound construction).
+    pub side: Side,
+    /// The underlying state variable, if the term projects exactly one.
+    pub var: Option<Sym>,
+}
+
+impl VocabEntry {
+    /// Construct a typed candidate.
+    pub fn new(expr: Expr, ty: Ty) -> Self {
+        VocabEntry {
+            expr,
+            ty,
+            side: Side::Const,
+            var: None,
+        }
+    }
+
+    /// An integer-typed candidate.
+    pub fn int(expr: Expr) -> Self {
+        Self::new(expr, Ty::Int)
+    }
+
+    /// A boolean-typed candidate.
+    pub fn boolean(expr: Expr) -> Self {
+        Self::new(expr, Ty::Bool)
+    }
+
+    /// Tag the operand side.
+    pub fn with_side(mut self, side: Side) -> Self {
+        self.side = side;
+        self
+    }
+
+    /// Tag the underlying state variable.
+    pub fn with_var(mut self, var: Sym) -> Self {
+        self.var = Some(var);
+        self
+    }
+}
+
+/// The constants made available to holes and the enumerator.
+pub fn constant_atoms() -> Vec<VocabEntry> {
+    vec![
+        VocabEntry::int(Expr::Int(0)),
+        VocabEntry::int(Expr::Int(1)),
+        VocabEntry::boolean(Expr::Bool(true)),
+        VocabEntry::boolean(Expr::Bool(false)),
+    ]
+}
+
+fn cross_side(a: &VocabEntry, b: &VocabEntry) -> bool {
+    a.side == Side::Const || b.side == Side::Const || a.side != b.side
+}
+
+fn same_var(a: &VocabEntry, b: &VocabEntry) -> bool {
+    matches!((a.var, b.var), (Some(x), Some(y)) if x == y)
+}
+
+/// Depth-2 compound candidates over `atoms`: `a ⊕ b` for the scalar
+/// operators that appear in joins (`+`, `-`, `min`, `max`), plus
+/// comparisons and boolean combinations. Only *cross-side* pairs are
+/// built (see module docs); same-variable cross pairs come first.
+pub fn compound_candidates(atoms: &[VocabEntry], with_comparisons: bool) -> Vec<VocabEntry> {
+    let ints: Vec<&VocabEntry> = atoms.iter().filter(|a| a.ty == Ty::Int).collect();
+    let mut priority: Vec<VocabEntry> = Vec::new();
+    let mut rest: Vec<VocabEntry> = Vec::new();
+    {
+        let mut push = |entry: VocabEntry, prioritized: bool| {
+            if prioritized {
+                priority.push(entry);
+            } else {
+                rest.push(entry);
+            }
+        };
+        for (i, a) in ints.iter().enumerate() {
+            for (j, b) in ints.iter().enumerate() {
+                if !cross_side(a, b) {
+                    continue;
+                }
+                let prioritized = same_var(a, b);
+                let var = if prioritized { a.var } else { None };
+                // `+`, `min`, `max` are commutative: one orientation.
+                if i <= j {
+                    for op in [BinOp::Add, BinOp::Max, BinOp::Min] {
+                        if i == j && op != BinOp::Add {
+                            continue;
+                        }
+                        let mut e = VocabEntry::int(Expr::bin(op, a.expr.clone(), b.expr.clone()));
+                        e.var = var;
+                        push(e, prioritized);
+                    }
+                }
+                if i != j {
+                    let mut e = VocabEntry::int(Expr::sub(a.expr.clone(), b.expr.clone()));
+                    e.var = var;
+                    push(e, prioritized);
+                }
+            }
+        }
+        if with_comparisons {
+            for (i, a) in ints.iter().enumerate() {
+                for (j, b) in ints.iter().enumerate() {
+                    // Comparisons against literal constants are banned:
+                    // they are the classic bounded-verification overfit
+                    // (`1 == offset__d` style "magic constants").
+                    if i == j || !cross_side(a, b) || a.side == Side::Const || b.side == Side::Const
+                    {
+                        continue;
+                    }
+                    let prioritized = same_var(a, b);
+                    for op in [BinOp::Ge, BinOp::Eq] {
+                        let mut e =
+                            VocabEntry::boolean(Expr::bin(op, a.expr.clone(), b.expr.clone()));
+                        e.var = if prioritized { a.var } else { None };
+                        push(e, prioritized);
+                    }
+                }
+            }
+            // Boolean combinations: negation of atoms, cross-side
+            // conjunction/disjunction.
+            let bools: Vec<&VocabEntry> = atoms.iter().filter(|a| a.ty == Ty::Bool).collect();
+            for b in &bools {
+                if !matches!(b.expr, Expr::Bool(_)) {
+                    let mut e =
+                        VocabEntry::boolean(Expr::Unary(UnOp::Not, Box::new(b.expr.clone())));
+                    e.var = b.var;
+                    push(e, false);
+                }
+            }
+            for (i, a) in bools.iter().enumerate() {
+                for b in bools.iter().skip(i + 1) {
+                    if !cross_side(a, b) {
+                        continue;
+                    }
+                    let prioritized = same_var(a, b);
+                    for mk in [Expr::and, Expr::or] {
+                        let mut e = VocabEntry::boolean(mk(a.expr.clone(), b.expr.clone()));
+                        e.var = if prioritized { a.var } else { None };
+                        push(e, prioritized);
+                    }
+                }
+            }
+        }
+    }
+    priority.extend(rest);
+    priority
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::ast::Interner;
+
+    fn atom(i: &mut Interner, name: &str, side: Side, var: Option<&str>) -> VocabEntry {
+        let sym = i.intern(name);
+        let mut e = VocabEntry::int(Expr::var(sym)).with_side(side);
+        if let Some(v) = var {
+            let vsym = i.intern(v);
+            e = e.with_var(vsym);
+        }
+        e
+    }
+
+    #[test]
+    fn same_var_cross_pairs_come_first() {
+        let mut i = Interner::new();
+        let al = atom(&mut i, "a__l", Side::Left, Some("a"));
+        let ar = atom(&mut i, "a__r", Side::Right, Some("a"));
+        let bl = atom(&mut i, "b__l", Side::Left, Some("b"));
+        let compounds = compound_candidates(&[al.clone(), ar.clone(), bl], false);
+        // The very first compounds combine a__l with a__r.
+        assert_eq!(
+            compounds[0].expr,
+            Expr::add(al.expr.clone(), ar.expr.clone())
+        );
+        assert!(compounds[0].var.is_some());
+    }
+
+    #[test]
+    fn same_side_pairs_are_excluded() {
+        let mut i = Interner::new();
+        let al = atom(&mut i, "a__l", Side::Left, Some("a"));
+        let bl = atom(&mut i, "b__l", Side::Left, Some("b"));
+        let al_sym = i.lookup("a__l").unwrap();
+        let bl_sym = i.lookup("b__l").unwrap();
+        let compounds = compound_candidates(&[al, bl], false);
+        assert!(
+            !compounds
+                .iter()
+                .any(|c| c.expr.mentions(al_sym) && c.expr.mentions(bl_sym)),
+            "same-side pair leaked: {compounds:?}"
+        );
+    }
+
+    #[test]
+    fn constants_pair_with_anything() {
+        let mut i = Interner::new();
+        let al = atom(&mut i, "a__l", Side::Left, Some("a"));
+        let zero = VocabEntry::int(Expr::int(0));
+        let compounds = compound_candidates(&[al.clone(), zero], false);
+        assert!(compounds
+            .iter()
+            .any(|c| c.expr == Expr::max(al.expr.clone(), Expr::int(0))));
+    }
+
+    #[test]
+    fn comparisons_and_bool_combos_when_requested() {
+        let mut i = Interner::new();
+        let al = atom(&mut i, "a__l", Side::Left, Some("a"));
+        let br = atom(&mut i, "b__r", Side::Right, Some("b"));
+        let sl = VocabEntry::boolean(Expr::var(i.intern("s__l"))).with_side(Side::Left);
+        let sr = VocabEntry::boolean(Expr::var(i.intern("s__r"))).with_side(Side::Right);
+        let with_cmp = compound_candidates(&[al, br, sl.clone(), sr.clone()], true);
+        assert!(with_cmp
+            .iter()
+            .any(|c| c.ty == Ty::Bool && matches!(c.expr, Expr::Binary(BinOp::Ge, ..))));
+        assert!(with_cmp
+            .iter()
+            .any(|c| c.expr == Expr::and(sl.expr.clone(), sr.expr.clone())));
+        assert!(with_cmp
+            .iter()
+            .any(|c| matches!(c.expr, Expr::Unary(UnOp::Not, _))));
+    }
+}

@@ -1,0 +1,39 @@
+//! # parsynt
+//!
+//! A from-scratch Rust reproduction of **ParSynt** — the system of
+//! *Modular Divide-and-Conquer Parallelization of Nested Loops*
+//! (Farzan & Nicolet, PLDI 2019).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`lang`] — the mini imperative input language (parser, checker,
+//!   interpreter, functional form).
+//! * [`rewrite`] — the term-rewriting engine behind automatic lifting.
+//! * [`synth`] — syntax-guided synthesis of merge (`⊚`) and join (`⊙`)
+//!   operators with bounded verification.
+//! * [`lift`] — memoryless and homomorphism lifting.
+//! * [`core`] — the Figure-7 parallelization schema tying it together.
+//! * [`runtime`] — a divide-and-conquer parallel execution runtime.
+//! * [`suite`] — the 27 evaluation benchmarks of Table 1 / Figure 9.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use parsynt::lang::parse;
+//! use parsynt::core::parallelize;
+//!
+//! let program = parse(
+//!     "input a : seq<seq<int>>; state s : int = 0;\n\
+//!      for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+//! ).unwrap();
+//! let result = parallelize(&program).unwrap();
+//! assert!(result.is_divide_and_conquer());
+//! ```
+
+pub use parsynt_core as core;
+pub use parsynt_lang as lang;
+pub use parsynt_lift as lift;
+pub use parsynt_rewrite as rewrite;
+pub use parsynt_runtime as runtime;
+pub use parsynt_suite as suite;
+pub use parsynt_synth as synth;

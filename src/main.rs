@@ -1,0 +1,262 @@
+//! The `parsynt` command-line tool: parallelize sequential nested loops
+//! from the command line.
+//!
+//! ```text
+//! parsynt parallelize <file> [--values lo..hi | --brackets] [--seed N]
+//!     Run the Figure-7 schema on a mini-language program; print the
+//!     report, the transformed (lifted) program, the synthesized join
+//!     and the proof obligations.
+//!
+//! parsynt run <file> --threads N [--rows R --cols C] [--values lo..hi]
+//!     Parallelize, then execute the synthesized plan on N threads over
+//!     a random input and cross-check against the sequential run.
+//!
+//! parsynt check <file> [--tests N]
+//!     Parallelize, then property-check the homomorphism law
+//!     h(x • y) = h(x) ⊙ h(y) on N random splits.
+//!
+//! parsynt bench-list
+//!     List the built-in evaluation benchmarks (Table 1 of the paper).
+//!
+//! parsynt bench <id>
+//!     Run the pipeline on a built-in benchmark by id.
+//! ```
+
+use parsynt::core::schema::{parallelize_with, Outcome, Parallelization};
+use parsynt::core::{
+    check_homomorphism_law, proof_obligations, run_divide_and_conquer, run_map_only,
+};
+use parsynt::lang::interp::run_program;
+use parsynt::lang::pretty::program_to_string;
+use parsynt::lang::{parse, Program, Value};
+use parsynt::suite::{all_benchmarks, benchmark};
+use parsynt::synth::examples::InputProfile;
+use parsynt::synth::report::SynthConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "parallelize" => cmd_parallelize(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "bench-list" => cmd_bench_list(),
+        "bench" => cmd_bench(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "parsynt — modular divide-and-conquer parallelization of nested loops
+
+USAGE:
+  parsynt parallelize <file> [--values lo..hi | --brackets]
+                             [--pair-width W] [--seed N]
+  parsynt run <file> --threads N [--rows R] [--cols C] [--values lo..hi]
+  parsynt check <file> [--tests N] [--values lo..hi | --brackets]
+                       [--pair-width W]
+  parsynt bench-list
+  parsynt bench <id>";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_program(args: &[String]) -> Result<Program, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing program file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn profile_from(args: &[String]) -> Result<InputProfile, String> {
+    let mut profile = InputProfile::default();
+    if has_flag(args, "--brackets") {
+        profile = profile.with_choices(&[-1, 1]);
+    } else if let Some(range) = flag(args, "--values") {
+        let (lo, hi) = range.split_once("..").ok_or("--values expects lo..hi")?;
+        profile = profile.with_value_range(
+            lo.parse().map_err(|_| "bad --values lower bound")?,
+            hi.parse().map_err(|_| "bad --values upper bound")?,
+        );
+    }
+    // Fixed row width for programs that index rows at constant positions
+    // (e.g. range pairs reading a[i][0] and a[i][1]).
+    if let Some(cols) = flag(args, "--pair-width") {
+        let w: usize = cols.parse().map_err(|_| "bad --pair-width")?;
+        profile = profile.with_cols(w.max(1), w.max(1));
+    }
+    Ok(profile)
+}
+
+fn config_from(args: &[String]) -> SynthConfig {
+    let mut cfg = SynthConfig::default();
+    if let Some(seed) = flag(args, "--seed").and_then(|s| s.parse().ok()) {
+        cfg = cfg.with_seed(seed);
+    }
+    cfg
+}
+
+fn pipeline(args: &[String]) -> Result<(Program, Parallelization), String> {
+    let program = load_program(args)?;
+    let profile = profile_from(args)?;
+    let cfg = config_from(args);
+    let plan = parallelize_with(&program, &profile, &cfg).map_err(|e| e.to_string())?;
+    Ok((program, plan))
+}
+
+fn print_plan(plan: &Parallelization) {
+    let r = &plan.report;
+    println!(
+        "loop depth n = {}, summarized depth k = {}",
+        r.loop_depth, r.summarized_depth
+    );
+    println!(
+        "summarization: {:.2?}   lifting: {:.2?}   join synthesis: {:.2?}",
+        r.summarization_time, r.lift_time, r.join_time
+    );
+    if !r.aux_memoryless.is_empty() {
+        println!("memoryless-lift auxiliaries: {:?}", r.aux_memoryless);
+    }
+    if !r.aux_homomorphism.is_empty() {
+        println!("homomorphism-lift auxiliaries: {:?}", r.aux_homomorphism);
+    }
+    match &plan.outcome {
+        Outcome::DivideAndConquer { join, .. } => {
+            println!("\noutcome: divide-and-conquer");
+            println!("\n== transformed (lifted) program ==");
+            println!("{}", program_to_string(&plan.program));
+            println!("== synthesized join ⊙ ==");
+            println!("{}", join.render(&plan.program));
+        }
+        Outcome::MapOnly => {
+            println!(
+                "\noutcome: map-only (the paper's †) — inner nest parallel, outer fold sequential"
+            );
+            println!("\n== memoryless normal form ==");
+            println!("{}", program_to_string(&plan.program));
+        }
+        Outcome::Unparallelizable { reason } => {
+            println!("\noutcome: not parallelizable (✗) — {reason}");
+        }
+    }
+}
+
+fn cmd_parallelize(args: &[String]) -> Result<(), String> {
+    let (_, plan) = pipeline(args)?;
+    print_plan(&plan);
+    if !plan.is_unparallelizable() {
+        println!("\n{}", proof_obligations(&plan));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let threads: usize = flag(args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let rows: usize = flag(args, "--rows")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let cols: usize = flag(args, "--cols")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let (_, plan) = pipeline(args)?;
+    print_plan(&plan);
+
+    // Generate a random input of the program's main-input type.
+    let profile = profile_from(args)?
+        .with_rows(rows, rows)
+        .with_cols(cols, cols);
+    let f =
+        parsynt::lang::functional::RightwardFn::new(&plan.program).map_err(|e| e.to_string())?;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let inputs: Vec<Value> = parsynt::synth::examples::random_inputs(&f, &profile, &mut rng);
+
+    let sequential = run_program(&plan.program, &inputs).map_err(|e| e.to_string())?;
+    let parallel = match &plan.outcome {
+        Outcome::DivideAndConquer { .. } => {
+            run_divide_and_conquer(&plan, &inputs, threads).map_err(|e| e.to_string())?
+        }
+        Outcome::MapOnly => run_map_only(&plan, &inputs, threads).map_err(|e| e.to_string())?,
+        Outcome::Unparallelizable { reason } => return Err(format!("nothing to run: {reason}")),
+    };
+    if parallel != sequential {
+        return Err("parallel result differs from sequential!".to_owned());
+    }
+    println!("\nexecuted on {threads} threads over a random {rows}-row input: results agree ✓");
+    for (sym, value) in sequential.entries() {
+        if plan.program.returns.contains(sym) {
+            println!("  {} = {}", plan.program.name(*sym), value);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let tests: usize = flag(args, "--tests")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let (_, plan) = pipeline(args)?;
+    if !plan.is_divide_and_conquer() {
+        return Err("no join to check (not a divide-and-conquer plan)".to_owned());
+    }
+    let profile = profile_from(args)?;
+    let checks =
+        check_homomorphism_law(&plan, &profile, tests, 0xC0DE).map_err(|e| e.to_string())?;
+    println!("homomorphism law h(x • y) = h(x) ⊙ h(y) held on {checks} random splits ✓");
+    Ok(())
+}
+
+fn cmd_bench_list() -> Result<(), String> {
+    println!(
+        "{:<22} {:<20} {:>5} {}",
+        "id", "paper name", "dim", "expected"
+    );
+    for b in all_benchmarks() {
+        println!(
+            "{:<22} {:<20} {:>5} {:?}",
+            b.id,
+            b.display,
+            format!("{:?}", b.dim),
+            b.expected
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let id = args.first().ok_or("missing benchmark id")?;
+    let b = benchmark(id).ok_or_else(|| format!("unknown benchmark `{id}`"))?;
+    let program = parse(b.source).map_err(|e| e.to_string())?;
+    let plan = parallelize_with(&program, &b.profile, &SynthConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!("benchmark: {} ({})", b.id, b.display);
+    print_plan(&plan);
+    Ok(())
+}

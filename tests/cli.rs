@@ -1,0 +1,83 @@
+//! End-to-end tests of the `parsynt` command-line tool, driving the real
+//! binary over the shipped example programs.
+
+use std::process::Command;
+
+fn parsynt(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_parsynt"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = parsynt(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("parallelize"));
+    assert!(stdout.contains("bench-list"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = parsynt(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let (ok, _, stderr) = parsynt(&["parallelize", "no/such/file.psl"]);
+    assert!(!ok);
+    assert!(stderr.contains("no/such/file.psl"));
+}
+
+#[test]
+fn bench_list_names_all_27() {
+    let (ok, stdout, _) = parsynt(&["bench-list"]);
+    assert!(ok);
+    for id in ["mbbs", "mtls", "bp", "lcs", "sum", "mode"] {
+        assert!(stdout.contains(id), "missing `{id}` in:\n{stdout}");
+    }
+    assert_eq!(stdout.lines().count(), 28); // header + 27 benchmarks
+}
+
+#[test]
+fn parallelize_sum_prints_join() {
+    let (ok, stdout, stderr) = parsynt(&["parallelize", "programs/sum2d.psl"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("divide-and-conquer"), "{stdout}");
+    assert!(stdout.contains("synthesized join"), "{stdout}");
+    assert!(stdout.contains("s__l + s__r"), "{stdout}");
+    assert!(stdout.contains("HomomorphismJoin"), "{stdout}");
+}
+
+#[test]
+fn run_sum_executes_and_agrees() {
+    let (ok, stdout, stderr) = parsynt(&[
+        "run",
+        "programs/sum2d.psl",
+        "--threads",
+        "3",
+        "--rows",
+        "24",
+        "--cols",
+        "8",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("results agree"), "{stdout}");
+    assert!(stdout.contains("s = "), "{stdout}");
+}
+
+#[test]
+fn check_sum_verifies_the_law() {
+    let (ok, stdout, stderr) = parsynt(&["check", "programs/sum2d.psl", "--tests", "30"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("held on 30 random splits"), "{stdout}");
+}

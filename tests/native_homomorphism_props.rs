@@ -1,0 +1,44 @@
+//! Property-based tests of the homomorphism law on every native
+//! workload: for random inputs and split points,
+//! `join(work(x), work(y)) == work(x • y)` — i.e. parallel execution at
+//! any chunking equals the sequential pass.
+
+use parsynt::runtime::RunConfig;
+use parsynt::suite::native::workloads;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every workload agrees between sequential and work-stealing
+    /// parallel execution at arbitrary thread counts and grains.
+    #[test]
+    fn parallel_equals_sequential(
+        seed in 0u64..5_000,
+        threads in 1usize..9,
+        grain in 1usize..64,
+        total in 2_000usize..10_000,
+    ) {
+        for w in workloads() {
+            let prepared = (w.prepare)(total, seed);
+            let seq = prepared.sequential();
+            let cfg = RunConfig::work_stealing(threads).with_grain(grain);
+            prop_assert_eq!(prepared.parallel(cfg), seq, "workload {}", w.id);
+        }
+    }
+
+    /// The static (OpenMP-style) backend agrees as well.
+    #[test]
+    fn static_backend_equals_sequential(
+        seed in 0u64..5_000,
+        threads in 1usize..9,
+        total in 2_000usize..8_000,
+    ) {
+        for w in workloads() {
+            let prepared = (w.prepare)(total, seed);
+            let seq = prepared.sequential();
+            let cfg = RunConfig::static_schedule(threads).with_grain(8);
+            prop_assert_eq!(prepared.parallel(cfg), seq, "workload {}", w.id);
+        }
+    }
+}

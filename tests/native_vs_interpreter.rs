@@ -1,0 +1,252 @@
+//! Cross-checks tying the three artifacts of each benchmark together:
+//! the interpreted mini-language source must agree with the native
+//! sequential implementation on shared inputs. (The native parallel ==
+//! native sequential direction is covered by the property tests; the
+//! synthesized-plan == interpreted-source direction by the pipeline
+//! tests.)
+
+use parsynt::lang::interp::run_program;
+use parsynt::lang::{parse, Value};
+use parsynt::suite::benchmark;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn rows(n: usize, m: usize, seed: u64, lo: i64, hi: i64) -> Vec<Vec<i64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(lo..=hi)).collect())
+        .collect()
+}
+
+fn run_source(id: &str, input: Value) -> parsynt::lang::interp::StateVec {
+    let b = benchmark(id).expect("known benchmark");
+    let p = parse(b.source).expect("source parses");
+    run_program(&p, &[input]).expect("source runs")
+}
+
+fn scalar(id: &str, input: Value, var: &str) -> i64 {
+    let b = benchmark(id).unwrap();
+    let p = parse(b.source).unwrap();
+    run_program(&p, &[input])
+        .unwrap()
+        .scalar_named(&p, var)
+        .unwrap_or_else(|| panic!("{id}: no scalar {var}"))
+}
+
+#[test]
+fn sum_source_matches_native() {
+    let data = rows(30, 7, 1, -50, 50);
+    let native: i64 = data.iter().flatten().sum();
+    assert_eq!(scalar("sum", Value::seq2_of_ints(&data), "s"), native);
+}
+
+#[test]
+fn mbbs_source_matches_native() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let planes: Vec<Vec<Vec<i64>>> = (0..20)
+        .map(|_| {
+            (0..3)
+                .map(|_| (0..4).map(|_| rng.gen_range(-9..=9)).collect())
+                .collect()
+        })
+        .collect();
+    let mut mbbs = 0i64;
+    for p in &planes {
+        let s: i64 = p.iter().flatten().sum();
+        mbbs = (mbbs + s).max(0);
+    }
+    assert_eq!(scalar("mbbs", Value::seq3_of_ints(&planes), "mbbs"), mbbs);
+}
+
+#[test]
+fn mtls_source_matches_brute_force() {
+    let data = rows(12, 5, 3, -9, 9);
+    let mut best = 0i64; // mtl starts at 0 in the source
+    for i in 0..data.len() {
+        for j in 0..data[0].len() {
+            let s: i64 = (0..=i).map(|r| data[r][..=j].iter().sum::<i64>()).sum();
+            best = best.max(s);
+        }
+    }
+    assert_eq!(scalar("mtls", Value::seq2_of_ints(&data), "mtl"), best);
+}
+
+#[test]
+fn bp_source_matches_native_fold() {
+    // Mirror the native bp (map + fold) against the interpreted source.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let lines: Vec<Vec<i64>> = (0..30)
+        .map(|_| {
+            (0..rng.gen_range(1..6))
+                .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+                .collect()
+        })
+        .collect();
+    let (mut offset, mut bal, mut cnt) = (0i64, true, 0i64);
+    for line in &lines {
+        let (mut lo, mut mo) = (0i64, 0i64);
+        for &c in line {
+            lo += if c == 1 { 1 } else { -1 };
+            mo = mo.min(lo);
+        }
+        bal = bal && offset + mo >= 0;
+        offset += lo;
+        if bal && lo == 0 && offset == 0 {
+            cnt += 1;
+        }
+    }
+    assert_eq!(scalar("bp", Value::seq2_of_ints(&lines), "cnt"), cnt);
+}
+
+#[test]
+fn mode_source_matches_native() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let data: Vec<i64> = (0..200).map(|_| rng.gen_range(0..8)).collect();
+    let mut counts = [0i64; 8];
+    for &v in &data {
+        counts[v as usize] += 1;
+    }
+    let native = counts.iter().copied().max().unwrap();
+    assert_eq!(scalar("mode", Value::seq_of_ints(&data), "mode"), native);
+}
+
+#[test]
+fn balanced_substrings_source_matches_native() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let data: Vec<i64> = (0..300)
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect();
+    let (mut matched, mut open) = (0i64, 0i64);
+    for &c in &data {
+        if c == 1 {
+            open += 1;
+        } else if open > 0 {
+            open -= 1;
+            matched += 1;
+        }
+    }
+    assert_eq!(
+        scalar("balanced_substrings", Value::seq_of_ints(&data), "matched"),
+        matched
+    );
+}
+
+#[test]
+fn max_dist_source_matches_native() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let data: Vec<i64> = (0..150).map(|_| rng.gen_range(-50..=50)).collect();
+    let native = data.windows(2).map(|w| (w[1] - w[0]).abs()).max().unwrap();
+    assert_eq!(scalar("max_dist", Value::seq_of_ints(&data), "md"), native);
+}
+
+#[test]
+fn range_counters_match_native_predicates() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    let pairs: Vec<Vec<i64>> = (0..120)
+        .map(|_| {
+            let a = rng.gen_range(-30..=30);
+            let b = rng.gen_range(-30..=30);
+            vec![a, b]
+        })
+        .collect();
+    let norm: Vec<(i64, i64)> = pairs
+        .iter()
+        .map(|p| (p[0].min(p[1]), p[0].max(p[1])))
+        .collect();
+    let count = |pred: &dyn Fn((i64, i64), (i64, i64)) -> bool| -> i64 {
+        norm.windows(2).filter(|w| pred(w[0], w[1])).count() as i64
+    };
+    let input = Value::seq2_of_ints(&pairs);
+    assert_eq!(
+        scalar("intersecting_ranges", input.clone(), "cnt"),
+        count(&|p, c| p.0.max(c.0) <= p.1.min(c.1))
+    );
+    assert_eq!(
+        scalar("increasing_ranges", input.clone(), "cnt"),
+        count(&|p, c| c.0 > p.0)
+    );
+    assert_eq!(
+        scalar("overlapping_ranges", input.clone(), "cnt"),
+        count(&|p, c| c.0 <= p.1 && c.1 > p.1)
+    );
+    assert_eq!(
+        scalar("pyramid_ranges", input, "cnt"),
+        count(&|p, c| p.0 < c.0 && c.1 < p.1)
+    );
+}
+
+#[test]
+fn strip_benchmarks_match_native() {
+    let data = rows(25, 6, 9, -50, 50);
+    let input = Value::seq2_of_ints(&data);
+    let row_sums: Vec<i64> = data.iter().map(|r| r.iter().sum()).collect();
+
+    // max top strip
+    let mut cur = 0i64;
+    let mut mts = 0i64;
+    for &s in &row_sums {
+        cur += s;
+        mts = mts.max(cur);
+    }
+    assert_eq!(scalar("max_top_strip", input.clone(), "mts"), mts);
+
+    // max bottom strip
+    let mut mbs = 0i64;
+    for &s in &row_sums {
+        mbs = (mbs + s).max(0);
+    }
+    assert_eq!(scalar("max_bottom_strip", input.clone(), "mbs"), mbs);
+
+    // max segment strip (Kadane)
+    let mut k = 0i64;
+    let mut best = 0i64;
+    for &s in &row_sums {
+        k = (k + s).max(0);
+        best = best.max(k);
+    }
+    assert_eq!(scalar("max_segment_strip", input, "best"), best);
+}
+
+#[test]
+fn sorted_source_detects_both_outcomes() {
+    let asc = vec![vec![1, 2, 3], vec![4, 5, 6]];
+    let out = run_source("sorted", Value::seq2_of_ints(&asc));
+    let b = benchmark("sorted").unwrap();
+    let p = parse(b.source).unwrap();
+    assert_eq!(out.bool_named(&p, "srt"), Some(true));
+    let desc = vec![vec![1, 5, 3], vec![4, 5, 6]];
+    let out = run_source("sorted", Value::seq2_of_ints(&desc));
+    assert_eq!(out.bool_named(&p, "srt"), Some(false));
+}
+
+#[test]
+fn min_max_col_source_matches_native() {
+    let data = rows(15, 4, 11, -50, 50);
+    let b = benchmark("min_max_col").unwrap();
+    let p = parse(b.source).unwrap();
+    let out = run_program(&p, &[Value::seq2_of_ints(&data)]).unwrap();
+    for j in 0..4 {
+        let col: Vec<i64> = data.iter().map(|r| r[j]).collect();
+        let cmin = out.value_named(&p, "cmin").unwrap().as_seq().unwrap()[j]
+            .as_int()
+            .unwrap();
+        let cmax = out.value_named(&p, "cmax").unwrap().as_seq().unwrap()[j]
+            .as_int()
+            .unwrap();
+        assert_eq!(cmin, col.iter().copied().min().unwrap());
+        assert_eq!(cmax, col.iter().copied().max().unwrap());
+    }
+}
+
+#[test]
+fn lcs_source_is_longest_aligned_run() {
+    let pairs = vec![
+        vec![1, 1],
+        vec![2, 2],
+        vec![3, 0],
+        vec![4, 4],
+        vec![5, 5],
+        vec![6, 6],
+    ];
+    assert_eq!(scalar("lcs", Value::seq2_of_ints(&pairs), "best"), 3);
+}

@@ -10,7 +10,7 @@
 //!
 //! Usage: `table1 [--filter substring] [--json out.json]`
 
-use parsynt_core::schema::{parallelize_with, Outcome};
+use parsynt_core::{Outcome, Pipeline};
 use parsynt_lang::parse;
 use parsynt_suite::{all_benchmarks, ExpectedOutcome};
 use parsynt_synth::report::SynthConfig;
@@ -26,6 +26,7 @@ struct Row {
     aux: usize,
     aux_names: Vec<String>,
     join_s: f64,
+    total_s: f64,
     outcome: String,
     expected: String,
     as_expected: bool,
@@ -73,8 +74,12 @@ fn main() {
         }
         let program = parse(b.source).expect("benchmark parses");
         let cfg = SynthConfig::default();
-        let result = parallelize_with(&program, &b.profile, &cfg)
+        let report = Pipeline::new(&program)
+            .profile(b.profile.clone())
+            .config(cfg)
+            .run()
             .unwrap_or_else(|e| panic!("pipeline error on {}: {e}", b.id));
+        let result = &report.parallelization;
         let (outcome, ok) = match (&result.outcome, b.expected) {
             (Outcome::DivideAndConquer { .. }, ExpectedOutcome::DivideAndConquer) => {
                 ("d&c".to_owned(), true)
@@ -127,6 +132,11 @@ fn main() {
             aux: r.aux_count(),
             aux_names,
             join_s: r.join_time.as_secs_f64(),
+            total_s: report
+                .phase_timings
+                .get("total")
+                .map(|d| d.as_secs_f64())
+                .unwrap_or_default(),
             outcome,
             expected: format!("{:?}", b.expected),
             as_expected: ok,

@@ -80,8 +80,14 @@ pub fn validate_budget(plan: &Parallelization) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::parallelize;
+    use crate::schema::run_schema;
     use parsynt_lang::parse;
+    use parsynt_synth::examples::InputProfile;
+    use parsynt_synth::report::SynthConfig;
+
+    fn parallelize(p: &parsynt_lang::ast::Program) -> crate::schema::Parallelization {
+        run_schema(p, &InputProfile::default(), &SynthConfig::default()).unwrap()
+    }
 
     #[test]
     fn scalar_join_respects_budget() {
@@ -90,7 +96,7 @@ mod tests {
              for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
         )
         .unwrap();
-        let plan = parallelize(&p).unwrap();
+        let plan = parallelize(&p);
         let b = budget_of(&plan);
         assert_eq!(b.n, 2);
         assert_eq!(b.k, 1);
@@ -107,7 +113,7 @@ mod tests {
                rec[j] = rec[j] + a[i][j]; } }",
         )
         .unwrap();
-        let plan = parallelize(&p).unwrap();
+        let plan = parallelize(&p);
         assert!(plan.report.looped_join);
         let b = budget_of(&plan);
         assert_eq!(b.max_join_loop_depth, 1);
@@ -126,7 +132,7 @@ mod tests {
         )
         .unwrap();
         // Whatever the outcome, validation must not fail spuriously.
-        let plan = parallelize(&p).unwrap();
+        let plan = parallelize(&p);
         validate_budget(&plan).unwrap();
     }
 }

@@ -12,6 +12,7 @@ use parsynt_lang::functional::RightwardFn;
 use parsynt_lang::interp::StateVec;
 use parsynt_lang::Value;
 use parsynt_synth::join::apply_join;
+use parsynt_trace as trace;
 
 /// Split `n` items into at most `parts` contiguous non-empty chunks.
 fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
@@ -57,6 +58,10 @@ pub fn run_divide_and_conquer(
         return f.apply(inputs);
     }
     let ranges = chunk_ranges(n, threads);
+    let mut exec_span = trace::span("execute", "interp_divide_and_conquer");
+    exec_span.record("threads", threads);
+    trace::counter("execute", "chunks", ranges.len() as u64);
+    trace::counter("execute", "joins", ranges.len().saturating_sub(1) as u64);
 
     let partials: Vec<Result<StateVec>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
@@ -113,6 +118,9 @@ pub fn run_map_only(
         return f.apply(inputs);
     }
     let ranges = chunk_ranges(n, threads);
+    let mut exec_span = trace::span("execute", "interp_map_only");
+    exec_span.record("threads", threads);
+    trace::counter("execute", "chunks", ranges.len() as u64);
 
     // Parallel map: compute 𝒢(0̸)(δ_i) for every row.
     let inner_results: Vec<Result<Vec<parsynt_lang::functional::InnerResult>>> =
@@ -150,8 +158,10 @@ pub fn run_map_only(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::parallelize;
+    use crate::schema::run_schema;
     use parsynt_lang::parse;
+    use parsynt_synth::examples::InputProfile;
+    use parsynt_synth::report::SynthConfig;
 
     #[test]
     fn chunking_is_contiguous_and_complete() {
@@ -179,7 +189,7 @@ mod tests {
              for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
         )
         .unwrap();
-        let plan = parallelize(&p).unwrap();
+        let plan = run_schema(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
         let input = Value::seq2_of_ints(&[
             vec![1, 2, 3],
             vec![-4, 5, 6],
@@ -212,13 +222,8 @@ mod tests {
              return cnt;",
         )
         .unwrap();
-        let profile = parsynt_synth::examples::InputProfile::default().with_choices(&[-1, 1]);
-        let plan = crate::schema::parallelize_with(
-            &p,
-            &profile,
-            &parsynt_synth::report::SynthConfig::default(),
-        )
-        .unwrap();
+        let profile = InputProfile::default().with_choices(&[-1, 1]);
+        let plan = run_schema(&p, &profile, &SynthConfig::default()).unwrap();
         assert!(plan.is_map_only());
         // "(()" ")" "()" rows
         let input = Value::seq2_of_ints(&[vec![1, 1, -1], vec![-1], vec![1, -1]]);

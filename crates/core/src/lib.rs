@@ -15,28 +15,37 @@
 //!             └─ fail & n = k: not efficiently parallelizable
 //! ```
 //!
-//! The main entry point is [`parallelize`] (or [`parallelize_with`] for
-//! custom input profiles and synthesis budgets).
+//! The main entry point is the [`Pipeline`] builder, which runs the
+//! schema under an ambient [`parsynt_trace`] tracer and returns a
+//! [`PipelineReport`] with the parallelization, per-phase timings, and
+//! event counters:
 //!
 //! ```
-//! use parsynt_core::parallelize;
+//! use parsynt_core::Pipeline;
 //! let p = parsynt_lang::parse(
 //!     "input a : seq<seq<int>>; state s : int = 0;\n\
 //!      for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
 //! ).unwrap();
-//! let result = parallelize(&p).unwrap();
-//! assert!(result.is_divide_and_conquer());
+//! let report = Pipeline::new(&p).run().unwrap();
+//! assert!(report.parallelization.is_divide_and_conquer());
 //! ```
+//!
+//! The pre-0.2 free functions (`parallelize`, `parallelize_with`,
+//! `check_homomorphism_law`) remain as deprecated shims over the same
+//! schema body.
 
 pub mod budget;
 pub mod exec;
+pub mod pipeline;
 pub mod proof;
 pub mod schema;
 
 pub use budget::{budget_of, validate_budget, Budget};
 pub use exec::{run_divide_and_conquer, run_map_only};
-pub use proof::{
-    check_homomorphism_law, check_homomorphism_law_exhaustive, check_join_associativity,
-    proof_obligations,
-};
-pub use schema::{parallelize, parallelize_with, Outcome, Parallelization, Report};
+pub use pipeline::{Pipeline, PipelineReport, PipelineReportJson, SearchBudget};
+#[allow(deprecated)]
+pub use proof::check_homomorphism_law;
+pub use proof::{check_homomorphism_law_exhaustive, check_join_associativity, proof_obligations};
+#[allow(deprecated)]
+pub use schema::{parallelize, parallelize_with};
+pub use schema::{Outcome, Parallelization, Report};

@@ -1,0 +1,372 @@
+//! The [`Pipeline`] builder — the observable entry point to the
+//! Figure-7 schema.
+//!
+//! Where the deprecated free functions ran the schema and returned only
+//! the [`Parallelization`], a `Pipeline` run also *observes* it: every
+//! instrumented stage (rewrite-rule firings, enumerator candidates,
+//! CEGIS rounds, lifting attempts, per-phase wall clock) is streamed as
+//! [`parsynt_trace`] events to an optional user sink and folded into the
+//! [`PipelineReport`]'s `phase_timings` / `counters`.
+//!
+//! ```
+//! use parsynt_core::Pipeline;
+//! let p = parsynt_lang::parse(
+//!     "input a : seq<seq<int>>; state s : int = 0;\n\
+//!      for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+//! ).unwrap();
+//! let report = Pipeline::new(&p).run().unwrap();
+//! assert!(report.parallelization.is_divide_and_conquer());
+//! assert!(report.phase_timings.contains_key("total"));
+//! ```
+
+use crate::proof::homomorphism_law_checks;
+use crate::schema::{run_schema, Outcome, Parallelization, Report};
+use parsynt_lang::ast::Program;
+use parsynt_lang::error::Result;
+use parsynt_synth::examples::InputProfile;
+use parsynt_synth::report::SynthConfig;
+use parsynt_trace as trace;
+use parsynt_trace::sinks::{FanoutSink, PhaseAggregator};
+use parsynt_trace::TraceSink;
+use serde::{Deserialize, Serialize, Serializer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A coarse cap on the synthesis search, applied on top of whatever
+/// [`SynthConfig`] the pipeline carries. Named `SearchBudget` to keep it
+/// distinct from the complexity [`crate::Budget`] of §6 (which bounds
+/// the *solution*, not the search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Cap on sketch hole-filling attempts per variable.
+    pub max_sketch_tries: usize,
+    /// Examples every candidate must match during search.
+    pub search_examples: usize,
+    /// Extra examples used to boundedly verify a surviving candidate.
+    pub verify_examples: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        let cfg = SynthConfig::default();
+        SearchBudget {
+            max_sketch_tries: cfg.max_sketch_tries,
+            search_examples: cfg.search_examples,
+            verify_examples: cfg.verify_examples,
+        }
+    }
+}
+
+impl SearchBudget {
+    /// A small budget for smoke tests and interactive exploration.
+    pub fn quick() -> Self {
+        SearchBudget {
+            max_sketch_tries: 50_000,
+            search_examples: 16,
+            verify_examples: 60,
+        }
+    }
+
+    fn apply(self, mut cfg: SynthConfig) -> SynthConfig {
+        cfg.max_sketch_tries = self.max_sketch_tries;
+        cfg.search_examples = self.search_examples;
+        cfg.verify_examples = self.verify_examples;
+        cfg
+    }
+}
+
+/// Builder for one observable schema run over a borrowed program.
+///
+/// Construction is cheap; nothing happens until [`Pipeline::run`].
+pub struct Pipeline<'p> {
+    program: &'p Program,
+    profile: InputProfile,
+    config: SynthConfig,
+    budget: Option<SearchBudget>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl<'p> Pipeline<'p> {
+    /// A pipeline over `program` with the default profile and config.
+    pub fn new(program: &'p Program) -> Self {
+        Pipeline {
+            program,
+            profile: InputProfile::default(),
+            config: SynthConfig::default(),
+            budget: None,
+            sink: None,
+        }
+    }
+
+    /// Set the input profile (shape/value distribution for bounded
+    /// verification).
+    pub fn profile(mut self, profile: InputProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Set the synthesis configuration.
+    pub fn config(mut self, config: SynthConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Cap the synthesis search; overrides the corresponding
+    /// [`SynthConfig`] fields at [`Pipeline::run`] time.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Stream trace events to `sink` during the run. Sinks whose clones
+    /// share state (e.g. `CollectingSink`) let the caller keep one end:
+    /// `.sink(collecting.clone())`.
+    pub fn sink<S: TraceSink + 'static>(self, sink: S) -> Self {
+        self.sink_arc(Arc::new(sink))
+    }
+
+    /// Like [`Pipeline::sink`], for an already-shared sink.
+    pub fn sink_arc(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Run the Figure-7 schema under an ambient tracer and aggregate the
+    /// event stream into a [`PipelineReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/program errors; *failure to parallelize*
+    /// is an outcome inside the report, not an error.
+    pub fn run(self) -> Result<PipelineReport> {
+        let cfg = match self.budget {
+            Some(budget) => budget.apply(self.config),
+            None => self.config,
+        };
+        let aggregator = PhaseAggregator::new();
+        let tracer = match &self.sink {
+            Some(user) => trace::Tracer::new(Arc::new(FanoutSink::new(vec![
+                Arc::new(aggregator.clone()) as Arc<dyn TraceSink>,
+                Arc::clone(user),
+            ]))),
+            None => trace::Tracer::from_sink(aggregator.clone()),
+        };
+        let guard = trace::set_ambient(tracer.clone());
+        let started = Instant::now();
+        let outcome = run_schema(self.program, &self.profile, &cfg);
+        let total = started.elapsed();
+        drop(guard);
+        tracer.flush();
+        let parallelization = outcome?;
+
+        let mut phase_timings = aggregator.phase_timings();
+        phase_timings.insert("total".to_owned(), total);
+        Ok(PipelineReport {
+            parallelization,
+            phase_timings,
+            counters: aggregator.counters(),
+            profile: self.profile,
+            seed: cfg.seed,
+        })
+    }
+}
+
+/// Everything one schema run produced: the parallelization itself plus
+/// the aggregated observations.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The transformed program, outcome, and Table-1 statistics.
+    pub parallelization: Parallelization,
+    /// Total span wall-clock per phase (`analyze`, `summarize`,
+    /// `join_search`, `normalize`, `synthesize`, `verify`, …) plus the
+    /// overall `total`. Phases nest (e.g. `normalize` time also elapses
+    /// inside `join_search`), so entries do not sum to `total`.
+    pub phase_timings: BTreeMap<String, Duration>,
+    /// Event counters keyed `"phase.name"` (e.g.
+    /// `"synthesize.cegis_round"`, `"normalize.rule_fired"`).
+    pub counters: BTreeMap<String, u64>,
+    profile: InputProfile,
+    seed: u64,
+}
+
+impl PipelineReport {
+    /// The Table-1 statistics of the underlying run.
+    pub fn report(&self) -> &Report {
+        &self.parallelization.report
+    }
+
+    /// The input profile the run used (kept for re-verification).
+    pub fn profile(&self) -> &InputProfile {
+        &self.profile
+    }
+
+    /// The RNG seed the run used.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Re-check the homomorphism law `h(x • y) = h(x) ⊙ h(y)` on
+    /// `tests` random splits drawn from the run's own profile and seed.
+    /// Returns the number of checks performed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first violated instance, on interpreter errors, or
+    /// if the plan is not divide-and-conquer.
+    pub fn check_homomorphism(&self, tests: usize) -> Result<usize> {
+        homomorphism_law_checks(&self.parallelization, &self.profile, tests, self.seed)
+    }
+
+    /// The serializable view of this report.
+    pub fn to_json_struct(&self) -> PipelineReportJson {
+        let report = self.report();
+        let (outcome, reason) = match &self.parallelization.outcome {
+            Outcome::DivideAndConquer { .. } => ("divide_and_conquer", None),
+            Outcome::MapOnly => ("map_only", None),
+            Outcome::Unparallelizable { reason } => ("unparallelizable", Some(reason.clone())),
+        };
+        PipelineReportJson {
+            outcome: outcome.to_owned(),
+            reason,
+            loop_depth: report.loop_depth,
+            summarized_depth: report.summarized_depth,
+            aux_memoryless: report.aux_memoryless.clone(),
+            aux_homomorphism: report.aux_homomorphism.clone(),
+            already_memoryless: report.already_memoryless,
+            looped_join: report.looped_join,
+            seed: self.seed,
+            phase_timings: self
+                .phase_timings
+                .iter()
+                .map(|(phase, d)| (phase.clone(), d.as_secs_f64()))
+                .collect(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// One-line JSON rendering of [`PipelineReport::to_json_struct`].
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_json_struct()).expect("report serializes")
+    }
+
+    /// Pretty-printed JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json_struct()).expect("report serializes")
+    }
+}
+
+impl Serialize for PipelineReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        self.to_json_struct().serialize(serializer)
+    }
+}
+
+/// The JSON shape of a [`PipelineReport`] — flat, stable, and
+/// round-trippable (timings as fractional seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReportJson {
+    /// `"divide_and_conquer"`, `"map_only"`, or `"unparallelizable"`.
+    pub outcome: String,
+    /// Failure reason when `outcome == "unparallelizable"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+    /// Loop-nest depth `n`.
+    pub loop_depth: usize,
+    /// Summarized depth `k`.
+    pub summarized_depth: usize,
+    /// Auxiliaries added by the memoryless lift.
+    pub aux_memoryless: Vec<String>,
+    /// Auxiliaries added by the homomorphism lift.
+    pub aux_homomorphism: Vec<String>,
+    /// Whether the loop was memoryless as written.
+    pub already_memoryless: bool,
+    /// Whether the synthesized join contains a loop.
+    pub looped_join: bool,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Per-phase wall clock, in seconds.
+    pub phase_timings: BTreeMap<String, f64>,
+    /// Event counters keyed `"phase.name"`.
+    pub counters: BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+    use parsynt_trace::sinks::CollectingSink;
+
+    fn sum2d() -> Program {
+        parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_matches_free_function_outcome() {
+        let p = sum2d();
+        let report = Pipeline::new(&p).run().unwrap();
+        assert!(report.parallelization.is_divide_and_conquer());
+        assert_eq!(report.report().aux_count(), 0);
+    }
+
+    #[test]
+    fn phase_timings_cover_the_figure_seven_stages() {
+        let p = sum2d();
+        let report = Pipeline::new(&p).run().unwrap();
+        for phase in ["analyze", "summarize", "join_search", "synthesize", "total"] {
+            assert!(
+                report.phase_timings.contains_key(phase),
+                "missing phase `{phase}`: {:?}",
+                report.phase_timings.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(report.phase_timings["total"] > Duration::ZERO);
+        assert_eq!(report.counters["schema.outcome"], 1);
+    }
+
+    #[test]
+    fn user_sink_sees_the_event_stream() {
+        let p = sum2d();
+        let sink = CollectingSink::new();
+        let report = Pipeline::new(&p).sink(sink.clone()).run().unwrap();
+        assert!(report.parallelization.is_divide_and_conquer());
+        assert!(!sink.is_empty());
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert!(names.iter().any(|n| n == "cegis_round"), "{names:?}");
+        assert!(names.iter().any(|n| n == "outcome"), "{names:?}");
+    }
+
+    #[test]
+    fn budget_overrides_config() {
+        let p = sum2d();
+        let budget = SearchBudget {
+            max_sketch_tries: 10_000,
+            search_examples: 12,
+            verify_examples: 40,
+        };
+        let report = Pipeline::new(&p).budget(budget).run().unwrap();
+        assert!(report.parallelization.is_divide_and_conquer());
+    }
+
+    #[test]
+    fn check_homomorphism_reuses_run_profile() {
+        let p = sum2d();
+        let report = Pipeline::new(&p).run().unwrap();
+        assert_eq!(report.check_homomorphism(20).unwrap(), 20);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let p = sum2d();
+        let report = Pipeline::new(&p).run().unwrap();
+        let json = report.to_json();
+        let back: PipelineReportJson = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report.to_json_struct());
+        assert_eq!(back.outcome, "divide_and_conquer");
+        assert!(back.phase_timings["total"] > 0.0);
+    }
+}

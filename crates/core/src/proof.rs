@@ -16,6 +16,7 @@ use parsynt_lang::pretty::program_to_string;
 use parsynt_lang::Value;
 use parsynt_synth::examples::{random_inputs, InputProfile};
 use parsynt_synth::join::apply_join;
+use parsynt_trace as trace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,12 +28,29 @@ use rand::{Rng, SeedableRng};
 ///
 /// Fails on the first violated instance (with a description), on
 /// interpreter errors, or if the plan is not divide-and-conquer.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PipelineReport::check_homomorphism(tests)` on the result of a `Pipeline` run"
+)]
 pub fn check_homomorphism_law(
     parallelization: &Parallelization,
     profile: &InputProfile,
     tests: usize,
     seed: u64,
 ) -> Result<usize> {
+    homomorphism_law_checks(parallelization, profile, tests, seed)
+}
+
+/// Implementation shared by [`check_homomorphism_law`] and
+/// `PipelineReport::check_homomorphism`.
+pub(crate) fn homomorphism_law_checks(
+    parallelization: &Parallelization,
+    profile: &InputProfile,
+    tests: usize,
+    seed: u64,
+) -> Result<usize> {
+    let mut verify_span = trace::span("verify", "homomorphism_law");
+    verify_span.record("tests", tests);
     let Outcome::DivideAndConquer { join, vocab } = &parallelization.outcome else {
         return Err(LangError::eval("not a divide-and-conquer parallelization"));
     };
@@ -152,10 +170,7 @@ pub fn check_homomorphism_law_exhaustive(
                 _ => cols * 2, // 3-D: rows-within-plane fixed at 2
             };
             let total = rows * scalars_per_row;
-            let instances = values
-                .len()
-                .checked_pow(total as u32)
-                .unwrap_or(usize::MAX);
+            let instances = values.len().checked_pow(total as u32).unwrap_or(usize::MAX);
             if instances > 200_000 {
                 continue; // keep the bound tractable
             }
@@ -177,9 +192,7 @@ pub fn check_homomorphism_law_exhaustive(
                                     plane
                                         .chunks(cols)
                                         .map(|r| {
-                                            Value::Seq(
-                                                r.iter().map(|&v| Value::Int(v)).collect(),
-                                            )
+                                            Value::Seq(r.iter().map(|&v| Value::Int(v)).collect())
                                         })
                                         .collect(),
                                 )
@@ -285,8 +298,13 @@ pub fn proof_obligations(parallelization: &Parallelization) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::parallelize;
+    use crate::schema::run_schema;
     use parsynt_lang::parse;
+    use parsynt_synth::report::SynthConfig;
+
+    fn parallelize(p: &parsynt_lang::ast::Program) -> Parallelization {
+        run_schema(p, &InputProfile::default(), &SynthConfig::default()).unwrap()
+    }
 
     #[test]
     fn law_holds_for_synthesized_sum_join() {
@@ -295,8 +313,8 @@ mod tests {
              for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
         )
         .unwrap();
-        let plan = parallelize(&p).unwrap();
-        let checks = check_homomorphism_law(&plan, &InputProfile::default(), 50, 42).unwrap();
+        let plan = parallelize(&p);
+        let checks = homomorphism_law_checks(&plan, &InputProfile::default(), 50, 42).unwrap();
         assert_eq!(checks, 50);
     }
 
@@ -307,9 +325,8 @@ mod tests {
              for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
         )
         .unwrap();
-        let plan = parallelize(&p).unwrap();
-        let checks =
-            check_homomorphism_law_exhaustive(&plan, 3, 2, &[-1, 0, 1]).unwrap();
+        let plan = parallelize(&p);
+        let checks = check_homomorphism_law_exhaustive(&plan, 3, 2, &[-1, 0, 1]).unwrap();
         // 2x1: 9 inputs x 1 split; 2x2: 81 x 1; 3x1: 27 x 2; 3x2: 729 x 2.
         assert_eq!(checks, 9 + 81 + 54 + 1458);
     }
@@ -321,7 +338,7 @@ mod tests {
              for i in 0 .. len(a) { m = max(m + a[i], 0); } return m;",
         )
         .unwrap();
-        let plan = parallelize(&p).unwrap();
+        let plan = parallelize(&p);
         let text = proof_obligations(&plan);
         assert!(text.contains("HomomorphismJoin"));
         assert!(text.contains("AuxInvariant"), "text:\n{text}");

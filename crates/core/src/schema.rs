@@ -8,6 +8,7 @@ use parsynt_lift::memoryless::memoryless_lift;
 use parsynt_synth::examples::InputProfile;
 use parsynt_synth::join::{JoinVocab, SynthesizedJoin};
 use parsynt_synth::report::SynthConfig;
+use parsynt_trace as trace;
 use serde::Serialize;
 use std::time::Duration;
 
@@ -104,8 +105,12 @@ impl Parallelization {
 ///
 /// Propagates interpreter/program errors; *failure to parallelize* is an
 /// [`Outcome`], not an error.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::new(program).run()` and read `.parallelization`"
+)]
 pub fn parallelize(program: &Program) -> Result<Parallelization> {
-    parallelize_with(program, &InputProfile::default(), &SynthConfig::default())
+    run_schema(program, &InputProfile::default(), &SynthConfig::default())
 }
 
 /// Run the full schema with an explicit input profile (shape/value
@@ -114,12 +119,43 @@ pub fn parallelize(program: &Program) -> Result<Parallelization> {
 /// # Errors
 ///
 /// Propagates interpreter/program errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::new(program).profile(..).config(..).run()`"
+)]
 pub fn parallelize_with(
     program: &Program,
     profile: &InputProfile,
     cfg: &SynthConfig,
 ) -> Result<Parallelization> {
-    let analysis = analyze(program);
+    run_schema(program, profile, cfg)
+}
+
+/// Emit the final schema outcome as a trace point (one per run).
+fn emit_outcome(outcome: &Outcome) {
+    if trace::enabled() {
+        let kind = match outcome {
+            Outcome::DivideAndConquer { .. } => "divide_and_conquer",
+            Outcome::MapOnly => "map_only",
+            Outcome::Unparallelizable { .. } => "unparallelizable",
+        };
+        trace::point("schema", "outcome", &[("outcome", kind.into())]);
+    }
+}
+
+/// The Figure-7 schema body, shared by [`crate::Pipeline`] and the
+/// deprecated free-function entry points.
+pub(crate) fn run_schema(
+    program: &Program,
+    profile: &InputProfile,
+    cfg: &SynthConfig,
+) -> Result<Parallelization> {
+    let analysis = {
+        let mut analyze_span = trace::span("analyze", "loop_nest");
+        let analysis = analyze(program);
+        analyze_span.record("loop_depth", analysis.loop_depth);
+        analysis
+    };
     let n = analysis.loop_depth;
 
     // Phase 1 (light grey in Figure 7): memorylessness, i.e. discovery
@@ -132,17 +168,24 @@ pub fn parallelize_with(
             summarization_time: memoryless.summarization_time,
             ..Report::default()
         };
-        return Ok(Parallelization {
+        let out = Parallelization {
             program: program.clone(),
             outcome: Outcome::Unparallelizable {
                 reason: "no memoryless lift found (only the default lift of Prop. 5.4 applies)"
                     .to_owned(),
             },
             report,
-        });
+        };
+        emit_outcome(&out.outcome);
+        return Ok(out);
     }
     let summarized = memoryless.program;
-    let k = analyze(&summarized).summarized_depth;
+    let k = {
+        let mut analyze_span = trace::span("analyze", "summarized_nest");
+        let k = analyze(&summarized).summarized_depth;
+        analyze_span.record("summarized_depth", k);
+        k
+    };
 
     // Phase 2 (light blue): parallelize the summarized loop — join
     // synthesis with homomorphism lifting.
@@ -172,11 +215,13 @@ pub fn parallelize_with(
                 already_memoryless: memoryless.already_memoryless,
                 looped_join,
             };
-            Ok(Parallelization {
+            let out = Parallelization {
                 program: lifted,
                 outcome: Outcome::DivideAndConquer { join, vocab },
                 report,
-            })
+            };
+            emit_outcome(&out.outcome);
+            Ok(out)
         }
         HomLiftOutcome::Failure {
             join_time,
@@ -194,14 +239,14 @@ pub fn parallelize_with(
             // n > k: the inner nest still parallelizes as a map
             // (Prop. 4.3); otherwise summarization bought nothing and the
             // parallelization fails (§6.2).
-            if n > k {
-                Ok(Parallelization {
+            let out = if n > k {
+                Parallelization {
                     program: summarized,
                     outcome: Outcome::MapOnly,
                     report,
-                })
+                }
             } else {
-                Ok(Parallelization {
+                Parallelization {
                     program: summarized,
                     outcome: Outcome::Unparallelizable {
                         reason: format!(
@@ -213,8 +258,10 @@ pub fn parallelize_with(
                         ),
                     },
                     report,
-                })
-            }
+                }
+            };
+            emit_outcome(&out.outcome);
+            Ok(out)
         }
     }
 }
@@ -224,6 +271,10 @@ mod tests {
     use super::*;
     use parsynt_lang::parse;
 
+    fn run_default(p: &Program) -> Parallelization {
+        run_schema(p, &InputProfile::default(), &SynthConfig::default()).unwrap()
+    }
+
     #[test]
     fn sum_parallelizes_without_aux() {
         let p = parse(
@@ -231,7 +282,7 @@ mod tests {
              for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
         )
         .unwrap();
-        let out = parallelize(&p).unwrap();
+        let out = run_default(&p);
         assert!(out.is_divide_and_conquer());
         assert_eq!(out.report.aux_count(), 0);
         // The inner loop updates `s` directly, so the schema synthesizes
@@ -255,7 +306,7 @@ mod tests {
              return mbbs;",
         )
         .unwrap();
-        let out = parallelize(&p).unwrap();
+        let out = run_default(&p);
         assert!(out.is_divide_and_conquer());
         assert_eq!(
             out.report.aux_count(),
@@ -288,7 +339,7 @@ mod tests {
         )
         .unwrap();
         let profile = InputProfile::default().with_choices(&[-1, 1]);
-        let out = parallelize_with(&p, &profile, &SynthConfig::default()).unwrap();
+        let out = run_schema(&p, &profile, &SynthConfig::default()).unwrap();
         assert!(out.is_map_only(), "outcome: {:?}", out.outcome);
         assert_eq!(out.report.aux_memoryless.len(), 1);
     }
@@ -303,7 +354,7 @@ mod tests {
              return mtl;",
         )
         .unwrap();
-        let out = parallelize(&p).unwrap();
+        let out = run_default(&p);
         assert!(out.is_divide_and_conquer(), "outcome: {:?}", out.outcome);
         assert!(out.report.looped_join);
         // §2.2: the max_rec[] array accumulator is required.

@@ -1,0 +1,78 @@
+//! Black-box tests of the `Outcome` / `Parallelization` accessors and
+//! the `Pipeline` report surface, from outside the crate.
+
+use parsynt_core::{Outcome, Pipeline};
+use parsynt_lang::parse;
+use parsynt_synth::examples::InputProfile;
+
+#[test]
+fn accessors_agree_with_the_outcome_variant() {
+    let p = parse(
+        "input a : seq<seq<int>>; state s : int = 0;\n\
+         for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+    )
+    .unwrap();
+    let plan = Pipeline::new(&p).run().unwrap().parallelization;
+    assert!(matches!(plan.outcome, Outcome::DivideAndConquer { .. }));
+    assert!(plan.is_divide_and_conquer());
+    assert!(!plan.is_map_only());
+    assert!(!plan.is_unparallelizable());
+    // The lifted program keeps the input's sequential semantics
+    // projected to its returns, so the report stats describe it.
+    assert_eq!(plan.report.loop_depth, 2);
+    assert_eq!(plan.report.summarized_depth, 1);
+    assert_eq!(plan.report.aux_count(), 0);
+}
+
+#[test]
+fn map_only_accessors() {
+    // §2.1 balanced parentheses: summarizes but does not lift.
+    let p = parse(
+        "input a : seq<seq<int>>;\n\
+         state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
+         for i in 0 .. len(a) {\n\
+           let lo : int = 0;\n\
+           for j in 0 .. len(a[i]) {\n\
+             lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+             if (offset + lo < 0) { bal = false; }\n\
+           }\n\
+           offset = offset + lo;\n\
+           if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+         }\n\
+         return cnt;",
+    )
+    .unwrap();
+    let profile = InputProfile::default().with_choices(&[-1, 1]);
+    let report = Pipeline::new(&p).profile(profile).run().unwrap();
+    let plan = &report.parallelization;
+    assert!(matches!(plan.outcome, Outcome::MapOnly));
+    assert!(plan.is_map_only());
+    assert!(!plan.is_divide_and_conquer());
+    assert!(!plan.is_unparallelizable());
+    assert_eq!(report.counters["schema.outcome"], 1);
+}
+
+#[test]
+fn unparallelizable_reason_is_reported() {
+    // LCS-style cross-row dependence: no efficient lift (Table 1 ✗).
+    let p = parse(
+        "input a : seq<seq<int>>; state best : int = 0; state prev : int = 0;\n\
+         for i in 0 .. len(a) { for j in 0 .. len(a[i]) {\n\
+           prev = max(prev + a[i][j], best - prev);\n\
+           best = max(best, prev); } }\n\
+         return best;",
+    )
+    .unwrap();
+    let plan = Pipeline::new(&p).run().unwrap().parallelization;
+    if let Outcome::Unparallelizable { reason } = &plan.outcome {
+        assert!(plan.is_unparallelizable());
+        assert!(!reason.is_empty());
+    } else {
+        // Some search seeds may still find a lift; the accessor must
+        // agree with the variant either way.
+        assert_eq!(
+            plan.is_divide_and_conquer(),
+            matches!(plan.outcome, Outcome::DivideAndConquer { .. })
+        );
+    }
+}

@@ -20,6 +20,7 @@ use parsynt_rewrite::cost::Phase1Cost;
 use parsynt_rewrite::normal_form::{classify, flatten, Purity};
 use parsynt_rewrite::normalize::Normalizer;
 use parsynt_rewrite::symbolic::{sym_exec_all, SymEnv, SymVal};
+use parsynt_trace as trace;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -78,6 +79,7 @@ fn is_int_expr(e: &Expr) -> bool {
 /// Run aux discovery on a (memoryless) program.
 pub fn discover(program: &Program) -> Discovery {
     let start = Instant::now();
+    let mut discovery_span = trace::span("lift", "discovery");
     let mut specs = Vec::new();
     if let Some((u2_map, state_leaves)) = unfold(program, 2) {
         let u1_map = unfold(program, 1);
@@ -101,6 +103,7 @@ pub fn discover(program: &Program) -> Discovery {
             }
         }
     }
+    discovery_span.record("specs", specs.len());
     Discovery {
         specs,
         elapsed: start.elapsed(),

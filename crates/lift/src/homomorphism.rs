@@ -29,6 +29,7 @@ use parsynt_lang::Ty;
 use parsynt_synth::examples::{join_examples, InputProfile};
 use parsynt_synth::join::{apply_join, synthesize_join, JoinVocab, SynthesizedJoin};
 use parsynt_synth::report::SynthConfig;
+use parsynt_trace as trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -85,6 +86,7 @@ pub fn homomorphism_lift(
     profile: &InputProfile,
     cfg: &SynthConfig,
 ) -> Result<HomLiftOutcome> {
+    let mut phase_span = trace::span("join_search", "homomorphism_lift");
     let mut join_time = Duration::ZERO;
     let mut lift_time = Duration::ZERO;
     let mut current = program.clone();
@@ -92,12 +94,19 @@ pub fn homomorphism_lift(
     let mut last_failed: Option<String> = None;
 
     for round in 0..4 {
+        trace::point(
+            "lift",
+            "round",
+            &[("round", round.into()), ("aux_so_far", added.len().into())],
+        );
         let mut attempt = current.clone();
         let (result, vocab) = synthesize_join(&mut attempt, profile, cfg)?;
         join_time += result.elapsed;
         if let Some(join) = result.join {
             let (pruned_program, pruned_join, pruned_vocab, kept) =
                 prune_dead_aux(&attempt, &join, &vocab, &added, profile, cfg)?;
+            phase_span.record("rounds", round);
+            phase_span.record("aux_kept", kept.len());
             return Ok(HomLiftOutcome::Success {
                 aux: kept,
                 program: pruned_program,
@@ -111,22 +120,32 @@ pub fn homomorphism_lift(
         last_failed = result.failed_var;
 
         // Lift and retry.
-        let new_aux = match round {
+        let (new_aux, source) = match round {
             0 => {
                 let found = discover(&current);
                 lift_time += found.elapsed;
-                add_discovered(&mut current, &found.specs)?
+                (add_discovered(&mut current, &found.specs)?, "discovery")
             }
-            1 => add_scalar_catalog(&mut current)?,
-            2 => add_array_catalog(&mut current)?,
-            _ => Vec::new(),
+            1 => (add_scalar_catalog(&mut current)?, "scalar_catalog"),
+            2 => (add_array_catalog(&mut current)?, "array_catalog"),
+            _ => (Vec::new(), "none"),
         };
+        if trace::enabled() {
+            for &sym in &new_aux {
+                trace::point(
+                    "lift",
+                    "aux_discovered",
+                    &[("var", current.name(sym).into()), ("source", source.into())],
+                );
+            }
+        }
         if new_aux.is_empty() && round < 3 {
             continue;
         }
         added.extend(new_aux);
     }
 
+    phase_span.record("failed", true);
     Ok(HomLiftOutcome::Failure {
         join_time,
         failed_var: last_failed,
@@ -308,6 +327,9 @@ fn prune_dead_aux(
     let pruned_join = SynthesizedJoin { stmts: join_stmts };
 
     // Re-verify the pruned join.
+    trace::point("lift", "aux_pruned", &[("count", dead.len().into())]);
+    let mut verify_span = trace::span("verify", "pruned_join_check");
+    verify_span.record("examples", 40usize);
     let f = RightwardFn::new(&pruned)?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(7));
     let examples = join_examples(&f, profile, &mut rng, 40)?;

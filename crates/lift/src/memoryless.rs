@@ -24,6 +24,7 @@ use parsynt_lang::{Ty, Value};
 use parsynt_synth::examples::{random_inputs, InputProfile};
 use parsynt_synth::merge::{synthesize_merge, MergeVocab, SynthesizedMerge};
 use parsynt_synth::report::SynthConfig;
+use parsynt_trace as trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -56,8 +57,10 @@ pub fn memoryless_lift(
     profile: &InputProfile,
     cfg: &SynthConfig,
 ) -> Result<MemorylessOutcome> {
+    let mut phase_span = trace::span("summarize", "memoryless_lift");
     let analysis = parsynt_lang::analysis::analyze(program);
     if analysis.is_syntactically_memoryless() {
+        phase_span.record("already_memoryless", true);
         return Ok(MemorylessOutcome {
             program: program.clone(),
             aux_added: Vec::new(),
@@ -71,6 +74,7 @@ pub fn memoryless_lift(
     let mut aux_added: Vec<String> = Vec::new();
 
     // Round 0: direct merge synthesis on the original program.
+    trace::point("summarize", "merge_attempt", &[("batch", "none".into())]);
     let mut attempt = program.clone();
     let (result, vocab) = synthesize_merge(&mut attempt, profile, cfg)?;
     total += result.elapsed;
@@ -94,13 +98,32 @@ pub fn memoryless_lift(
         if added.is_empty() {
             continue;
         }
+        trace::point(
+            "summarize",
+            "merge_attempt",
+            &[
+                ("batch", format!("{batch:?}").into()),
+                ("aux_candidates", added.len().into()),
+            ],
+        );
         let mut attempt = lifted.clone();
         let (result, vocab) = synthesize_merge(&mut attempt, profile, cfg)?;
         total += result.elapsed;
         if let Some(merge) = result.merge {
             aux_added = added;
+            for name in &aux_added {
+                trace::point(
+                    "lift",
+                    "aux_discovered",
+                    &[
+                        ("var", name.as_str().into()),
+                        ("source", "memoryless".into()),
+                    ],
+                );
+            }
             let transformed = memoryless_transform(&attempt, &vocab, &merge)?;
             cross_check(program, &transformed, profile, cfg)?;
+            phase_span.record("aux_added", aux_added.len());
             return Ok(MemorylessOutcome {
                 program: transformed,
                 aux_added,
@@ -114,6 +137,7 @@ pub fn memoryless_lift(
     // All lifts failed: fall back to the default memoryless lift of
     // Prop. 5.4 (remember the last row; practically: the loop nest stays
     // as-is and only coarser parallelism is available).
+    phase_span.record("failed", true);
     Ok(MemorylessOutcome {
         program: program.clone(),
         aux_added: Vec::new(),
@@ -356,6 +380,8 @@ fn cross_check(
     profile: &InputProfile,
     cfg: &SynthConfig,
 ) -> Result<()> {
+    let mut verify_span = trace::span("verify", "memoryless_cross_check");
+    verify_span.record("examples", 40usize);
     let f = RightwardFn::new(original)?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(99));
     for _ in 0..40 {

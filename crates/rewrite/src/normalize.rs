@@ -6,8 +6,9 @@
 //! expansions.
 
 use crate::cost::Cost;
-use crate::rules::{constant_fold, single_step_rewrites, Rule};
+use crate::rules::{constant_fold, single_step_rewrites_counted, Rule};
 use parsynt_lang::ast::Expr;
+use parsynt_trace as trace;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -59,6 +60,8 @@ impl Normalizer {
 
     /// Run best-first search minimizing `cost` starting from `start`.
     pub fn run<C: Cost>(&self, start: &Expr, cost: &C) -> NormalizeOutcome<C::Val> {
+        let mut pass_span = trace::span("normalize", "pass");
+        let mut rule_counts = vec![0u64; self.rules.len()];
         let start = constant_fold(start);
         let start_cost = cost.cost(&start);
         let mut best = start.clone();
@@ -86,7 +89,7 @@ impl Normalizer {
                 best_cost = c.clone();
                 best = e.clone();
             }
-            for next in single_step_rewrites(&e, &self.rules) {
+            for next in single_step_rewrites_counted(&e, &self.rules, &mut rule_counts) {
                 if next.size() > self.max_expr_size {
                     continue;
                 }
@@ -108,6 +111,20 @@ impl Normalizer {
         }
 
         let improved = best_cost < cost.cost(&payload[0]);
+        if pass_span.is_enabled() {
+            for (rule, fired) in self.rules.iter().zip(&rule_counts) {
+                if *fired > 0 {
+                    trace::counter_with(
+                        "normalize",
+                        "rule_fired",
+                        *fired,
+                        &[("rule", rule.name.into())],
+                    );
+                }
+            }
+            pass_span.record("expansions", expansions);
+            pass_span.record("improved", improved);
+        }
         NormalizeOutcome {
             best,
             best_cost,

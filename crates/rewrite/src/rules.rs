@@ -461,16 +461,26 @@ pub fn all_rules() -> &'static [Rule] {
 /// Enumerate all single-step rewrites of `e`: each rule applied at each
 /// position, with constant folding applied to every result.
 pub fn single_step_rewrites(e: &Expr, rules: &[Rule]) -> Vec<Expr> {
+    let mut counts = vec![0u64; rules.len()];
+    single_step_rewrites_counted(e, rules, &mut counts)
+}
+
+/// Like [`single_step_rewrites`], but additionally counts how many
+/// rewrites each rule produced: `counts[i]` is incremented once per
+/// expression generated by `rules[i]`, at any position. `counts` must
+/// have at least `rules.len()` entries.
+pub fn single_step_rewrites_counted(e: &Expr, rules: &[Rule], counts: &mut [u64]) -> Vec<Expr> {
     let mut out = Vec::new();
     // Apply at root.
-    for rule in rules {
+    for (i, rule) in rules.iter().enumerate() {
         for rewritten in (rule.apply)(e) {
+            counts[i] += 1;
             out.push(constant_fold(&rewritten));
         }
     }
     // Apply in children via reconstruction.
     let mut with_child = |child: &Expr, rebuild: &dyn Fn(Expr) -> Expr| {
-        for sub in single_step_rewrites(child, rules) {
+        for sub in single_step_rewrites_counted(child, rules, counts) {
             out.push(rebuild(sub));
         }
     };

@@ -57,10 +57,7 @@ fn zero_budget_returns_the_input() {
     let out = Normalizer::new().with_max_expansions(0).run(&e, &cost);
     // With no expansions allowed, the (constant-folded) input is best.
     assert_eq!(out.expansions, 0);
-    assert_eq!(
-        out.best,
-        parsynt_rewrite::rules::constant_fold(&e)
-    );
+    assert_eq!(out.best, parsynt_rewrite::rules::constant_fold(&e));
 }
 
 #[test]

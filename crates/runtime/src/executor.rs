@@ -3,7 +3,8 @@
 use crate::task::{DncTask, MapOnlyTask};
 use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parsynt_trace as trace;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Scheduling backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,29 @@ impl RunConfig {
         self.grain = grain.max(1);
         self
     }
+
+    /// Override the scheduling backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl Default for RunConfig {
+    /// Work-stealing over every available core with the paper's 50k
+    /// grain — the setup of the §9 experiments.
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        RunConfig::work_stealing(threads)
+    }
 }
 
 /// Run the task sequentially (the baseline all speedups are relative
@@ -69,6 +93,19 @@ pub fn run_parallel<T: DncTask>(task: &T, data: &[T::Item], config: RunConfig) -
     let threads = config.threads.max(1);
     if threads == 1 || data.len() <= config.grain {
         return task.work(data);
+    }
+    let mut exec_span = trace::span("execute", "run_parallel");
+    if exec_span.is_enabled() {
+        exec_span.record("threads", threads);
+        exec_span.record("grain", config.grain);
+        exec_span.record(
+            "backend",
+            match config.backend {
+                Backend::WorkStealing => "work_stealing",
+                Backend::Static => "static",
+            },
+        );
+        exec_span.record("items", data.len());
     }
     match config.backend {
         Backend::Static => run_static(task, data, threads),
@@ -100,6 +137,10 @@ fn run_static<T: DncTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc 
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
+    if trace::enabled() {
+        trace::counter("execute", "chunks", partials.len() as u64);
+        trace::counter("execute", "joins", partials.len().saturating_sub(1) as u64);
+    }
     partials
         .into_iter()
         .reduce(|l, r| task.join(l, r))
@@ -127,19 +168,29 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
 
     let remaining = AtomicUsize::new(num_chunks);
     let slots: Vec<Mutex<Option<T::Acc>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    // Per-worker tallies; workers run on foreign threads (no ambient
+    // tracer there), so events are emitted from the calling thread once
+    // the scope closes.
+    let steal_counts: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let chunk_counts: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
     std::thread::scope(|scope| {
-        for worker in workers {
+        for (wid, worker) in workers.into_iter().enumerate() {
             let stealers = &stealers;
             let remaining = &remaining;
             let slots = &slots;
+            let steal_counts = &steal_counts;
+            let chunk_counts = &chunk_counts;
             scope.spawn(move || {
                 loop {
                     // Drain the local deque first, then steal.
                     let chunk = worker.pop().or_else(|| {
                         stealers.iter().find_map(|s| loop {
                             match s.steal() {
-                                Steal::Success(c) => return Some(c),
+                                Steal::Success(c) => {
+                                    steal_counts[wid].fetch_add(1, Ordering::Relaxed);
+                                    return Some(c);
+                                }
                                 Steal::Empty => return None,
                                 Steal::Retry => continue,
                             }
@@ -155,6 +206,7 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
                         std::thread::yield_now();
                         continue;
                     };
+                    chunk_counts[wid].fetch_add(1, Ordering::Relaxed);
                     let lo = chunk * grain;
                     let hi = (lo + grain).min(n);
                     let acc = task.work(&data[lo..hi]);
@@ -164,6 +216,25 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
             });
         }
     });
+
+    if trace::enabled() {
+        trace::counter("execute", "chunks", num_chunks as u64);
+        trace::counter("execute", "joins", num_chunks as u64 - 1);
+        for (wid, (steals, worked)) in steal_counts.iter().zip(&chunk_counts).enumerate() {
+            trace::counter_with(
+                "execute",
+                "worker_steals",
+                steals.load(Ordering::Relaxed),
+                &[("worker", wid.into())],
+            );
+            trace::counter_with(
+                "execute",
+                "worker_chunks",
+                worked.load(Ordering::Relaxed),
+                &[("worker", wid.into())],
+            );
+        }
+    }
 
     slots
         .into_iter()
@@ -182,7 +253,11 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
 /// Definition 3.2): adjacent partials are always joined in input order.
 pub fn reduce_tree<T: DncTask>(task: &T, mut partials: Vec<T::Acc>) -> T::Acc {
     while partials.len() > 1 {
-        let leftover = if partials.len() % 2 == 1 { partials.pop() } else { None };
+        let leftover = if partials.len() % 2 == 1 {
+            partials.pop()
+        } else {
+            None
+        };
         let mut iter = partials.into_iter();
         let mut pairs: Vec<(T::Acc, T::Acc)> = Vec::new();
         while let (Some(l), Some(r)) = (iter.next(), iter.next()) {
@@ -375,6 +450,39 @@ mod tests {
     fn tree_reduction_of_empty_and_singleton() {
         assert_eq!(reduce_tree(&Sum, vec![]), 0);
         assert_eq!(reduce_tree(&Sum, vec![41]), 41);
+    }
+
+    #[test]
+    fn default_config_is_work_stealing_on_all_cores() {
+        let cfg = RunConfig::default();
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.backend, Backend::WorkStealing);
+        assert_eq!(cfg.grain, 50_000);
+        let cfg = cfg
+            .with_backend(Backend::Static)
+            .with_threads(3)
+            .with_grain(10);
+        assert_eq!(cfg.backend, Backend::Static);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.grain, 10);
+    }
+
+    #[test]
+    fn stealing_emits_chunk_and_worker_counters() {
+        use parsynt_trace::sinks::PhaseAggregator;
+        let agg = PhaseAggregator::new();
+        let _guard = trace::set_ambient(trace::Tracer::from_sink(agg.clone()));
+        let d = data(10_000);
+        let cfg = RunConfig::work_stealing(4).with_grain(97);
+        assert_eq!(run_parallel(&Sum, &d, cfg), run_sequential(&Sum, &d));
+        let counters = agg.counters();
+        let chunks = 10_000u64.div_ceil(97);
+        assert_eq!(counters["execute.chunks"], chunks);
+        assert_eq!(counters["execute.joins"], chunks - 1);
+        // Every processed chunk is tallied against some worker.
+        assert_eq!(counters["execute.worker_chunks"], chunks);
+        assert!(counters.contains_key("execute.worker_steals"));
+        assert!(agg.phase_timings().contains_key("execute"));
     }
 
     #[test]

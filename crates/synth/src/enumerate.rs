@@ -7,7 +7,42 @@ use crate::vocab::VocabEntry;
 use parsynt_lang::ast::{BinOp, Expr, UnOp};
 use parsynt_lang::interp::{eval_expr, Env};
 use parsynt_lang::{Ty, Value};
+use parsynt_trace as trace;
+use std::cell::Cell;
 use std::collections::HashSet;
+
+/// Counts enumeration work and reports it to the ambient trace on drop,
+/// so every exit path of [`Enumerator::solve`] emits the
+/// `synthesize.enum_candidates` / `synthesize.enum_pruned` counters.
+#[derive(Default)]
+struct EnumTraceGuard {
+    /// Terms constructed (before junk/equivalence filtering).
+    built: Cell<u64>,
+    /// Terms retained as observationally distinct.
+    retained: Cell<u64>,
+}
+
+impl EnumTraceGuard {
+    fn built(&self) {
+        self.built.set(self.built.get() + 1);
+    }
+    fn retained(&self) {
+        self.retained.set(self.retained.get() + 1);
+    }
+}
+
+impl Drop for EnumTraceGuard {
+    fn drop(&mut self) {
+        if trace::enabled() && self.built.get() > 0 {
+            trace::counter("synthesize", "enum_candidates", self.built.get());
+            trace::counter(
+                "synthesize",
+                "enum_pruned",
+                self.built.get().saturating_sub(self.retained.get()),
+            );
+        }
+    }
+}
 
 /// Configuration of the bottom-up enumerator.
 #[derive(Debug, Clone)]
@@ -78,12 +113,15 @@ impl Enumerator {
         let mut by_size: Vec<Vec<Term>> = vec![Vec::new()];
         let mut seen: HashSet<(Ty, Signature)> = HashSet::new();
         let mut total = 0usize;
+        let counts = EnumTraceGuard::default();
 
         // Size 1: the atoms.
         let mut level1 = Vec::new();
         for atom in atoms {
+            counts.built();
             let sig = self.signature(&atom.expr);
             if seen.insert((atom.ty.clone(), sig.clone())) {
+                counts.retained();
                 if atom.ty == *target_ty && check(&atom.expr) {
                     return Some(atom.expr.clone());
                 }
@@ -99,12 +137,14 @@ impl Enumerator {
 
         for size in 2..=self.cfg.max_size {
             let mut level: Vec<Term> = Vec::new();
+            let counts = &counts;
             let offer = |term: Term,
                          seen: &mut HashSet<(Ty, Signature)>,
                          level: &mut Vec<Term>,
                          total: &mut usize,
                          check: &mut dyn FnMut(&Expr) -> bool|
              -> Option<Expr> {
+                counts.built();
                 // Terms that fail on every probe are junk.
                 if term.sig.iter().all(Option::is_none) {
                     return None;
@@ -112,6 +152,7 @@ impl Enumerator {
                 if !seen.insert((term.ty.clone(), term.sig.clone())) {
                     return None;
                 }
+                counts.retained();
                 let hit = term.ty == *target_ty && check(&term.expr);
                 let expr = term.expr.clone();
                 level.push(term);
@@ -414,15 +455,21 @@ mod tests {
         // Without ite: a small size bound cannot express the selection.
         let without = Enumerator::new(
             envs.clone(),
-            EnumConfig { max_size: 4, with_ite: false, ..Default::default() },
+            EnumConfig {
+                max_size: 4,
+                with_ite: false,
+                ..Default::default()
+            },
         );
-        assert!(without
-            .solve(&atoms, &Ty::Int, &mut check(&envs))
-            .is_none());
+        assert!(without.solve(&atoms, &Ty::Int, &mut check(&envs)).is_none());
         // With ite it is found at size 4.
         let with = Enumerator::new(
             envs.clone(),
-            EnumConfig { max_size: 4, with_ite: true, ..Default::default() },
+            EnumConfig {
+                max_size: 4,
+                with_ite: true,
+                ..Default::default()
+            },
         );
         let found = with
             .solve(&atoms, &Ty::Int, &mut check(&envs))

@@ -19,6 +19,7 @@ use parsynt_lang::functional::RightwardFn;
 use parsynt_lang::interp::{exec_stmts, read_state, Env, StateVec};
 use parsynt_lang::pretty::stmt_to_string;
 use parsynt_lang::Ty;
+use parsynt_trace as trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -264,6 +265,7 @@ pub fn synthesize_join(
     cfg: &SynthConfig,
 ) -> Result<(JoinResult, JoinVocab)> {
     let start = Instant::now();
+    let mut join_span = trace::span("synthesize", "join");
     let vocab = JoinVocab::install(program);
     let program: &Program = program;
     let f = RightwardFn::new(program)?;
@@ -317,7 +319,16 @@ pub fn synthesize_join(
     // counterexamples back into the search set and re-solves.
     let mut extra_cases: Vec<Case> = Vec::new();
     let mut last_failure: Option<(Vec<VarStats>, String)> = None;
-    for _attempt in 0..3 {
+    for attempt in 0..3u32 {
+        trace::point(
+            "synthesize",
+            "cegis_round",
+            &[
+                ("operator", "join".into()),
+                ("round", attempt.into()),
+                ("extra_examples", extra_cases.len().into()),
+            ],
+        );
         let mut search = search_cases.clone();
         search.extend(extra_cases.iter().cloned());
         let mut solver = VarSolver::new(
@@ -350,6 +361,7 @@ pub fn synthesize_join(
         if !deferred.is_empty() {
             if !allow_loops {
                 let name = program.name(deferred[0]).to_owned();
+                join_span.record("failed_var", name.as_str());
                 return Ok((
                     JoinResult::failure(start.elapsed(), solver.stats, name),
                     vocab,
@@ -373,6 +385,7 @@ pub fn synthesize_join(
             solver.finish_loop(&mut solved);
         }
         if let Some(name) = failed {
+            join_span.record("failed_var", name.as_str());
             return Ok((
                 JoinResult::failure(start.elapsed(), solver.stats, name),
                 vocab,
@@ -387,13 +400,25 @@ pub fn synthesize_join(
         // examples; failures become new search cases.
         let final_examples = join_examples(&f, profile, &mut rng, 150)?;
         let mut bad: Vec<Case> = Vec::new();
-        for ex in &final_examples {
-            let got = apply_join(program, &vocab, &join, &ex.left, &ex.right)?;
-            if got != ex.whole {
-                bad.push(join_case(program, &vocab, ex)?);
+        {
+            let mut verify_span = trace::span("verify", "join_final_check");
+            for ex in &final_examples {
+                let got = apply_join(program, &vocab, &join, &ex.left, &ex.right)?;
+                if got != ex.whole {
+                    bad.push(join_case(program, &vocab, ex)?);
+                }
             }
+            verify_span.record("examples", final_examples.len());
+            verify_span.record("counterexamples", bad.len());
         }
         if bad.is_empty() {
+            trace::counter(
+                "synthesize",
+                "verify_promoted",
+                solver.cases.promoted as u64,
+            );
+            join_span.record("looped", looped);
+            join_span.record("tries", solver.total_tries());
             return Ok((
                 JoinResult {
                     join: Some(join),
@@ -409,6 +434,7 @@ pub fn synthesize_join(
         last_failure = Some((solver.stats, "<final-verification>".to_owned()));
     }
     let (stats, var) = last_failure.unwrap_or_default();
+    join_span.record("failed_var", var.as_str());
     Ok((JoinResult::failure(start.elapsed(), stats, var), vocab))
 }
 

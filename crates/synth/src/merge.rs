@@ -20,6 +20,7 @@ use parsynt_lang::functional::{InnerResult, RightwardFn};
 use parsynt_lang::interp::{exec_stmts, read_state, Env, StateVec};
 use parsynt_lang::pretty::stmt_to_string;
 use parsynt_lang::Ty;
+use parsynt_trace as trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -282,6 +283,7 @@ pub fn synthesize_merge(
     cfg: &SynthConfig,
 ) -> Result<(MergeResult, MergeVocab)> {
     let start = Instant::now();
+    let mut merge_span = trace::span("synthesize", "merge");
     let inner_vars: Vec<(Sym, Ty)> = {
         let f = RightwardFn::new(program)?;
         f.inner_vars().to_vec()
@@ -349,7 +351,16 @@ pub fn synthesize_merge(
     // restarts.
     let mut extra_cases: Vec<Case> = Vec::new();
     let mut last_failure: Option<(Vec<VarStats>, String, bool)> = None;
-    for _attempt in 0..3 {
+    for attempt in 0..3u32 {
+        trace::point(
+            "synthesize",
+            "cegis_round",
+            &[
+                ("operator", "merge".into()),
+                ("round", attempt.into()),
+                ("extra_examples", extra_cases.len().into()),
+            ],
+        );
         let mut search = search_cases.clone();
         search.extend(extra_cases.iter().cloned());
         let mut solver = VarSolver::new(
@@ -403,6 +414,7 @@ pub fn synthesize_merge(
         }
 
         if let Some(var) = failed {
+            merge_span.record("failed_var", var.as_str());
             return Ok((
                 MergeResult {
                     merge: None,
@@ -423,13 +435,25 @@ pub fn synthesize_merge(
         // new search cases.
         let final_examples = merge_examples(&f, profile, &mut rng, 150)?;
         let mut bad: Vec<Case> = Vec::new();
-        for ex in &final_examples {
-            let got = apply_merge(program, &vocab, &merge, &ex.state, &ex.inner)?;
-            if got != ex.expected {
-                bad.push(merge_case(program, &vocab, ex)?);
+        {
+            let mut verify_span = trace::span("verify", "merge_final_check");
+            for ex in &final_examples {
+                let got = apply_merge(program, &vocab, &merge, &ex.state, &ex.inner)?;
+                if got != ex.expected {
+                    bad.push(merge_case(program, &vocab, ex)?);
+                }
             }
+            verify_span.record("examples", final_examples.len());
+            verify_span.record("counterexamples", bad.len());
         }
         if bad.is_empty() {
+            trace::counter(
+                "synthesize",
+                "verify_promoted",
+                solver.cases.promoted as u64,
+            );
+            merge_span.record("looped", looped);
+            merge_span.record("tries", solver.total_tries());
             return Ok((
                 MergeResult {
                     merge: Some(merge),
@@ -445,6 +469,7 @@ pub fn synthesize_merge(
         last_failure = Some((solver.stats, "<final-verification>".to_owned(), looped));
     }
     let (stats, var, looped) = last_failure.unwrap_or_default();
+    merge_span.record("failed_var", var.as_str());
     Ok((
         MergeResult {
             merge: None,

@@ -14,6 +14,7 @@ use crate::vocab::{compound_candidates, VocabEntry};
 use parsynt_lang::ast::{Expr, LValue, Program, Stmt, Sym};
 use parsynt_lang::interp::{exec_stmt, exec_stmts, Env, StateVec};
 use parsynt_lang::{Ty, Value};
+use parsynt_trace as trace;
 
 /// One example the candidate operator must satisfy: an environment with
 /// the operator's inputs bound, and the expected full output state.
@@ -35,12 +36,18 @@ pub struct CaseSet {
     pub search: Vec<Case>,
     /// Held-out cases for bounded verification.
     pub verify: Vec<Case>,
+    /// How many verify failures have been promoted into the search set.
+    pub promoted: usize,
 }
 
 impl CaseSet {
     /// Build from search and verify cases.
     pub fn new(search: Vec<Case>, verify: Vec<Case>) -> Self {
-        CaseSet { search, verify }
+        CaseSet {
+            search,
+            verify,
+            promoted: 0,
+        }
     }
 
     fn check_stmts(case: &Case, stmts: &[Stmt], target: Sym) -> bool {
@@ -72,6 +79,7 @@ impl CaseSet {
             // the verify set, so it is not re-checked twice per candidate).
             let bad = self.verify.swap_remove(pos);
             self.search.push(bad);
+            self.promoted += 1;
             return false;
         }
         true
@@ -260,12 +268,14 @@ impl<'p> VarSolver<'p> {
         if self.cfg.incremental {
             self.cases.commit(&stmt);
         }
-        self.stats.push(VarStats {
+        let stats = VarStats {
             name: self.program.name(target).to_owned(),
             tries,
             from_sketch,
             in_loop: false,
-        });
+        };
+        emit_var_solved(&stats);
+        self.stats.push(stats);
         solved.push(stmt);
         true
     }
@@ -424,12 +434,14 @@ impl<'p> VarSolver<'p> {
             }
         };
         self.loop_body.push(assign);
-        self.stats.push(VarStats {
+        let stats = VarStats {
             name: self.program.name(target).to_owned(),
             tries,
             from_sketch,
             in_loop: true,
-        });
+        };
+        emit_var_solved(&stats);
+        self.stats.push(stats);
         true
     }
 
@@ -446,5 +458,22 @@ impl<'p> VarSolver<'p> {
         };
         self.cases.commit(&stmt);
         solved.push(stmt);
+    }
+}
+
+/// Trace a solved variable: name, candidates tried, and whether the
+/// winning candidate came from a sketch hole or lives in a loop body.
+fn emit_var_solved(stats: &VarStats) {
+    if trace::enabled() {
+        trace::point(
+            "synthesize",
+            "var_solved",
+            &[
+                ("var", stats.name.as_str().into()),
+                ("tries", stats.tries.into()),
+                ("from_sketch", stats.from_sketch.into()),
+                ("in_loop", stats.in_loop.into()),
+            ],
+        );
     }
 }

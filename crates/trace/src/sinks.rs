@@ -1,0 +1,198 @@
+//! Concrete [`TraceSink`] implementations: discard, collect in
+//! memory, stream JSON lines, fan out, and aggregate per-phase
+//! timings/counters.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::{Event, EventKind, TraceSink};
+
+/// Discards every event. Useful as an explicit "tracing off" sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers every event in memory; clones share the same buffer, so a
+/// test can keep one clone and hand the other to a `Tracer`.
+#[derive(Clone, Default)]
+pub struct CollectingSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every event recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Streams each event as one JSON object per line (JSONL) to a writer.
+/// Serialization errors are silently dropped: tracing must never fail
+/// the pipeline it observes.
+pub struct WriterSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wrap a writer. Use [`WriterSink::to_file`] for the common case.
+    pub fn new(out: W) -> Self {
+        WriterSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl WriterSink<BufWriter<File>> {
+    /// Create (truncating) `path` and stream JSON lines into it.
+    pub fn to_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(WriterSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl WriterSink<Vec<u8>> {
+    /// Copy of the bytes written so far (in-memory sinks only).
+    pub fn clone_buffer(&self) -> Vec<u8> {
+        self.out.lock().unwrap().clone()
+    }
+}
+
+impl<W: Write + Send> TraceSink for WriterSink<W> {
+    fn record(&self, event: &Event) {
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut out = self.out.lock().unwrap();
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl<W: Write + Send> Drop for WriterSink<W> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Duplicates every event to a list of sinks, in order.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Fan out to `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[derive(Default)]
+struct AggregatorState {
+    /// Summed span durations (µs) per phase.
+    phase_us: BTreeMap<String, u64>,
+    /// Summed counter values / point occurrences per `phase.name`.
+    counters: BTreeMap<String, u64>,
+}
+
+/// Folds the event stream into per-phase wall-clock totals (from span
+/// events) and `phase.name` counters (from counter values and point
+/// occurrences). This is what turns a raw trace into the
+/// `phase_timings` / `counters` of a `PipelineReport`.
+///
+/// Span durations within one phase are summed, so non-nested repeated
+/// spans (the instrumentation convention in this workspace) yield the
+/// phase's total wall-clock time. Clones share state.
+#[derive(Clone, Default)]
+pub struct PhaseAggregator {
+    state: Arc<Mutex<AggregatorState>>,
+}
+
+impl PhaseAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total span time per phase.
+    pub fn phase_timings(&self) -> BTreeMap<String, Duration> {
+        self.state
+            .lock()
+            .unwrap()
+            .phase_us
+            .iter()
+            .map(|(phase, us)| (phase.clone(), Duration::from_micros(*us)))
+            .collect()
+    }
+
+    /// Summed counters keyed by `"phase.name"`.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.state.lock().unwrap().counters.clone()
+    }
+}
+
+impl TraceSink for PhaseAggregator {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().unwrap();
+        match event.kind {
+            EventKind::Span { dur_us } => {
+                *state.phase_us.entry(event.phase.clone()).or_insert(0) += dur_us;
+            }
+            EventKind::Counter { value } => {
+                let key = format!("{}.{}", event.phase, event.name);
+                *state.counters.entry(key).or_insert(0) += value;
+            }
+            EventKind::Point => {
+                let key = format!("{}.{}", event.phase, event.name);
+                *state.counters.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+}

@@ -13,12 +13,11 @@
 //! line's `(line_offset, min_offset)` is computed in parallel, the outer
 //! fold stays sequential.
 
-use parsynt::core::{parallelize_with, run_map_only, Outcome};
+use parsynt::core::{run_map_only, Outcome, Pipeline};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::pretty::program_to_string;
 use parsynt::lang::{parse, Value};
 use parsynt::synth::examples::InputProfile;
-use parsynt::synth::report::SynthConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse(
@@ -40,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let profile = InputProfile::default().with_choices(&[-1, 1]);
     println!("running the pipeline on bp (lift + merge synthesis, ~minutes)...");
-    let plan = parallelize_with(&program, &profile, &SynthConfig::default())?;
+    let plan = Pipeline::new(&program)
+        .profile(profile)
+        .run()?
+        .parallelization;
     assert!(matches!(plan.outcome, Outcome::MapOnly), "bp is map-only");
     println!(
         "memoryless lift added: {:?} (the paper's min_offset)",

@@ -7,7 +7,7 @@
 //! cargo run --release --example max_top_left_sum
 //! ```
 
-use parsynt::core::{parallelize, run_divide_and_conquer, Outcome};
+use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::{parse, Value};
 
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("running the pipeline on mtls (looped join synthesis, ~minutes)...");
-    let plan = parallelize(&program)?;
+    let plan = Pipeline::new(&program).run()?.parallelization;
     let Outcome::DivideAndConquer { join, .. } = &plan.outcome else {
         panic!("mtls lifts to a homomorphism with an array accumulator");
     };

@@ -12,11 +12,10 @@
 //! then races the native divide-and-conquer implementation against the
 //! sequential baseline.
 
-use parsynt::core::{check_homomorphism_law, parallelize, proof_obligations, Outcome};
+use parsynt::core::{proof_obligations, Outcome, Pipeline};
 use parsynt::lang::parse;
 use parsynt::runtime::RunConfig;
 use parsynt::suite::native::workload;
-use parsynt::synth::examples::InputProfile;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("running the pipeline on mbbs (this synthesizes, ~seconds)...");
-    let plan = parallelize(&program)?;
+    let report = Pipeline::new(&program).run()?;
+    let plan = &report.parallelization;
     let Outcome::DivideAndConquer { join, .. } = &plan.outcome else {
         panic!("mbbs lifts to a homomorphism");
     };
@@ -52,9 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", join.render(&plan.program));
 
     // Bounded proof of the homomorphism law + Dafny-style obligations.
-    let checks = check_homomorphism_law(&plan, &InputProfile::default(), 100, 7)?;
+    let checks = report.check_homomorphism(100)?;
     println!("homomorphism law checked on {checks} random splits ✓");
-    println!("{}", proof_obligations(&plan));
+    println!("{}", proof_obligations(plan));
 
     // Native performance run.
     let w = workload("mbbs").expect("registered");

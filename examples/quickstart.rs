@@ -9,7 +9,7 @@
 //! the synthesized divide-and-conquer plan on real threads and checks it
 //! against the sequential run.
 
-use parsynt::core::{parallelize, run_divide_and_conquer, Outcome};
+use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::{parse, Value};
 
@@ -25,8 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          return s;",
     )?;
 
-    // 2. Run the parallelization schema.
-    let plan = parallelize(&program)?;
+    // 2. Run the parallelization schema through the observable
+    //    pipeline builder.
+    let report = Pipeline::new(&program).run()?;
+    let plan = &report.parallelization;
     let Outcome::DivideAndConquer { join, .. } = &plan.outcome else {
         panic!("sum is a homomorphism and must parallelize");
     };
@@ -38,6 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.report.join_time,
         plan.report.aux_count()
     );
+    if let Some(total) = report.phase_timings.get("total") {
+        println!("total pipeline wall clock: {total:?}");
+    }
 
     // 3. Execute the synthesized plan on worker threads and compare with
     //    the sequential interpreter.
@@ -50,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let input = Value::seq2_of_ints(&rows);
     let sequential = run_program(&plan.program, std::slice::from_ref(&input))?;
-    let parallel = run_divide_and_conquer(&plan, &[input], 8)?;
+    let parallel = run_divide_and_conquer(plan, &[input], 8)?;
     assert_eq!(parallel, sequential);
     println!(
         "parallel (8 threads) == sequential: s = {}",

@@ -8,11 +8,14 @@
 //!
 //! * [`lang`] — the mini imperative input language (parser, checker,
 //!   interpreter, functional form).
+//! * [`trace`] — the structured-event observability layer every stage
+//!   reports into ([`trace::TraceSink`], spans, counters, JSONL sinks).
 //! * [`rewrite`] — the term-rewriting engine behind automatic lifting.
 //! * [`synth`] — syntax-guided synthesis of merge (`⊚`) and join (`⊙`)
 //!   operators with bounded verification.
 //! * [`lift`] — memoryless and homomorphism lifting.
-//! * [`core`] — the Figure-7 parallelization schema tying it together.
+//! * [`core`] — the Figure-7 parallelization schema tying it together,
+//!   exposed through the [`core::Pipeline`] builder.
 //! * [`runtime`] — a divide-and-conquer parallel execution runtime.
 //! * [`suite`] — the 27 evaluation benchmarks of Table 1 / Figure 9.
 //!
@@ -20,15 +23,40 @@
 //!
 //! ```
 //! use parsynt::lang::parse;
-//! use parsynt::core::parallelize;
+//! use parsynt::core::Pipeline;
 //!
 //! let program = parse(
 //!     "input a : seq<seq<int>>; state s : int = 0;\n\
 //!      for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
 //! ).unwrap();
-//! let result = parallelize(&program).unwrap();
-//! assert!(result.is_divide_and_conquer());
+//! let report = Pipeline::new(&program).run().unwrap();
+//! assert!(report.parallelization.is_divide_and_conquer());
+//! // Every run is observable: per-phase timings and event counters.
+//! assert!(report.phase_timings.contains_key("synthesize"));
 //! ```
+//!
+//! To watch the run happen, hand the pipeline a sink:
+//!
+//! ```no_run
+//! # let program = parsynt::lang::parse("input a : seq<int>; state s : int = 0;\n\
+//! #     for i in 0 .. len(a) { s = s + a[i]; }").unwrap();
+//! use parsynt::core::Pipeline;
+//! use parsynt::trace::sinks::WriterSink;
+//!
+//! let sink = WriterSink::to_file("trace.jsonl").unwrap();
+//! let report = Pipeline::new(&program).sink(sink).run().unwrap();
+//! println!("{}", report.to_json_pretty());
+//! ```
+//!
+//! # Migrating from 0.1
+//!
+//! The free functions are deprecated shims; each maps onto the builder:
+//!
+//! | 0.1 | 0.2 |
+//! |-----|-----|
+//! | `parallelize(&p)?` | `Pipeline::new(&p).run()?.parallelization` |
+//! | `parallelize_with(&p, &profile, &cfg)?` | `Pipeline::new(&p).profile(profile).config(cfg).run()?.parallelization` |
+//! | `check_homomorphism_law(&plan, &profile, n, seed)?` | `report.check_homomorphism(n)?` |
 
 pub use parsynt_core as core;
 pub use parsynt_lang as lang;
@@ -37,3 +65,4 @@ pub use parsynt_rewrite as rewrite;
 pub use parsynt_runtime as runtime;
 pub use parsynt_suite as suite;
 pub use parsynt_synth as synth;
+pub use parsynt_trace as trace;

@@ -18,47 +18,106 @@
 //! parsynt bench-list
 //!     List the built-in evaluation benchmarks (Table 1 of the paper).
 //!
-//! parsynt bench <id>
-//!     Run the pipeline on a built-in benchmark by id.
+//! parsynt bench <id> [--threads N] [--grain G]
+//!     Run the pipeline on a built-in benchmark by id, then execute its
+//!     native workload on the work-stealing runtime.
 //! ```
+//!
+//! Every pipeline-running command also accepts `--json` (emit the
+//! machine-readable `PipelineReport` on stdout instead of prose) and
+//! `--trace <file>` (stream the structured event trace as JSON lines).
 
-use parsynt::core::schema::{parallelize_with, Outcome, Parallelization};
 use parsynt::core::{
-    check_homomorphism_law, proof_obligations, run_divide_and_conquer, run_map_only,
+    proof_obligations, run_divide_and_conquer, run_map_only, Outcome, Parallelization, Pipeline,
+    PipelineReport,
 };
 use parsynt::lang::interp::run_program;
 use parsynt::lang::pretty::program_to_string;
 use parsynt::lang::{parse, Program, Value};
-use parsynt::suite::{all_benchmarks, benchmark};
+use parsynt::suite::{all_benchmarks, benchmark, workload};
 use parsynt::synth::examples::InputProfile;
 use parsynt::synth::report::SynthConfig;
+use parsynt::trace::sinks::WriterSink;
+use parsynt::trace::{set_ambient, TraceSink, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Everything that can go wrong on the command line, with one exit code
+/// per kind (`sysexits`-flavoured).
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command/flag, missing argument.
+    Usage(String),
+    /// A file could not be read or created.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The input program did not parse or type-check.
+    Parse(String),
+    /// The schema itself failed (interpreter error during synthesis).
+    Synthesis(String),
+    /// Executing or checking a synthesized plan failed.
+    Exec(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Parse(msg) => write!(f, "{msg}"),
+            CliError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
+            CliError::Exec(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Parse(_) => 4,
+            CliError::Synthesis(_) => 5,
+            CliError::Exec(_) => 6,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let result = match command.as_str() {
-        "parallelize" => cmd_parallelize(&args[1..]),
-        "run" => cmd_run(&args[1..]),
-        "check" => cmd_check(&args[1..]),
+        "parallelize" => Cli::parse(&args[1..]).and_then(|cli| cmd_parallelize(&cli)),
+        "run" => Cli::parse(&args[1..]).and_then(|cli| cmd_run(&cli)),
+        "check" => Cli::parse(&args[1..]).and_then(|cli| cmd_check(&cli)),
         "bench-list" => cmd_bench_list(),
-        "bench" => cmd_bench(&args[1..]),
+        "bench" => Cli::parse(&args[1..]).and_then(|cli| cmd_bench(&cli)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -72,62 +131,149 @@ USAGE:
   parsynt check <file> [--tests N] [--values lo..hi | --brackets]
                        [--pair-width W]
   parsynt bench-list
-  parsynt bench <id>";
+  parsynt bench <id> [--threads N] [--grain G]
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+Observability (parallelize / run / check / bench):
+  --json          print the machine-readable PipelineReport on stdout
+  --trace <file>  stream the structured event trace as JSON lines";
+
+/// Flags that consume a value.
+const VALUE_FLAGS: &[&str] = &[
+    "--values",
+    "--pair-width",
+    "--seed",
+    "--threads",
+    "--rows",
+    "--cols",
+    "--tests",
+    "--trace",
+    "--grain",
+];
+/// Boolean switches.
+const SWITCHES: &[&str] = &["--brackets", "--json"];
+
+/// Parsed command arguments: positionals, `--flag value` pairs, and
+/// switches — rejecting anything unknown.
+struct Cli {
+    positionals: Vec<String>,
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
 }
 
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
+impl Cli {
+    fn parse(args: &[String]) -> Result<Cli, CliError> {
+        let mut cli = Cli {
+            positionals: Vec::new(),
+            values: BTreeMap::new(),
+            switches: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("{arg} expects a value\n{USAGE}")))?;
+                cli.values.insert(arg.clone(), value.clone());
+            } else if SWITCHES.contains(&arg.as_str()) {
+                cli.switches.push(arg.clone());
+            } else if arg.starts_with("--") {
+                return Err(CliError::Usage(format!("unknown flag `{arg}`\n{USAGE}")));
+            } else {
+                cli.positionals.push(arg.clone());
+            }
+        }
+        Ok(cli)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("bad value `{raw}` for {name}"))),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
 }
 
-fn load_program(args: &[String]) -> Result<Program, String> {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("missing program file")?;
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse(&src).map_err(|e| format!("{path}: {e}"))
+fn load_program(cli: &Cli) -> Result<Program, CliError> {
+    let path = cli
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Usage(format!("missing program file\n{USAGE}")))?;
+    let src = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    parse(&src).map_err(|e| CliError::Parse(format!("{path}: {e}")))
 }
 
-fn profile_from(args: &[String]) -> Result<InputProfile, String> {
+fn profile_from(cli: &Cli) -> Result<InputProfile, CliError> {
     let mut profile = InputProfile::default();
-    if has_flag(args, "--brackets") {
+    if cli.switch("--brackets") {
         profile = profile.with_choices(&[-1, 1]);
-    } else if let Some(range) = flag(args, "--values") {
-        let (lo, hi) = range.split_once("..").ok_or("--values expects lo..hi")?;
+    } else if let Some(range) = cli.value("--values") {
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| CliError::Usage("--values expects lo..hi".to_owned()))?;
         profile = profile.with_value_range(
-            lo.parse().map_err(|_| "bad --values lower bound")?,
-            hi.parse().map_err(|_| "bad --values upper bound")?,
+            lo.parse()
+                .map_err(|_| CliError::Usage("bad --values lower bound".to_owned()))?,
+            hi.parse()
+                .map_err(|_| CliError::Usage("bad --values upper bound".to_owned()))?,
         );
     }
     // Fixed row width for programs that index rows at constant positions
     // (e.g. range pairs reading a[i][0] and a[i][1]).
-    if let Some(cols) = flag(args, "--pair-width") {
-        let w: usize = cols.parse().map_err(|_| "bad --pair-width")?;
+    if let Some(w) = cli.parsed::<usize>("--pair-width")? {
         profile = profile.with_cols(w.max(1), w.max(1));
     }
     Ok(profile)
 }
 
-fn config_from(args: &[String]) -> SynthConfig {
+fn config_from(cli: &Cli) -> Result<SynthConfig, CliError> {
     let mut cfg = SynthConfig::default();
-    if let Some(seed) = flag(args, "--seed").and_then(|s| s.parse().ok()) {
+    if let Some(seed) = cli.parsed::<u64>("--seed")? {
         cfg = cfg.with_seed(seed);
     }
-    cfg
+    Ok(cfg)
 }
 
-fn pipeline(args: &[String]) -> Result<(Program, Parallelization), String> {
-    let program = load_program(args)?;
-    let profile = profile_from(args)?;
-    let cfg = config_from(args);
-    let plan = parallelize_with(&program, &profile, &cfg).map_err(|e| e.to_string())?;
-    Ok((program, plan))
+/// Open the `--trace` sink, if requested.
+fn trace_sink(cli: &Cli) -> Result<Option<Arc<WriterSink<BufWriter<File>>>>, CliError> {
+    match cli.value("--trace") {
+        None => Ok(None),
+        Some(path) => Ok(Some(Arc::new(WriterSink::to_file(path).map_err(
+            |source| CliError::Io {
+                path: path.to_owned(),
+                source,
+            },
+        )?))),
+    }
+}
+
+/// Run the observable pipeline, wiring in the `--trace` sink.
+fn run_pipeline(
+    program: &Program,
+    profile: InputProfile,
+    cfg: SynthConfig,
+    sink: Option<&Arc<WriterSink<BufWriter<File>>>>,
+) -> Result<PipelineReport, CliError> {
+    let mut pipeline = Pipeline::new(program).profile(profile).config(cfg);
+    if let Some(sink) = sink {
+        pipeline = pipeline.sink_arc(Arc::clone(sink) as Arc<dyn TraceSink>);
+    }
+    pipeline
+        .run()
+        .map_err(|e| CliError::Synthesis(e.to_string()))
 }
 
 fn print_plan(plan: &Parallelization) {
@@ -167,47 +313,79 @@ fn print_plan(plan: &Parallelization) {
     }
 }
 
-fn cmd_parallelize(args: &[String]) -> Result<(), String> {
-    let (_, plan) = pipeline(args)?;
-    print_plan(&plan);
-    if !plan.is_unparallelizable() {
-        println!("\n{}", proof_obligations(&plan));
+fn cmd_parallelize(cli: &Cli) -> Result<(), CliError> {
+    let program = load_program(cli)?;
+    let sink = trace_sink(cli)?;
+    let report = run_pipeline(
+        &program,
+        profile_from(cli)?,
+        config_from(cli)?,
+        sink.as_ref(),
+    )?;
+    if cli.switch("--json") {
+        println!("{}", report.to_json_pretty());
+        return Ok(());
+    }
+    print_plan(&report.parallelization);
+    if !report.parallelization.is_unparallelizable() {
+        println!("\n{}", proof_obligations(&report.parallelization));
     }
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let threads: usize = flag(args, "--threads")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let rows: usize = flag(args, "--rows")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
-    let cols: usize = flag(args, "--cols")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let (_, plan) = pipeline(args)?;
-    print_plan(&plan);
+fn cmd_run(cli: &Cli) -> Result<(), CliError> {
+    let threads = cli.parsed::<usize>("--threads")?.unwrap_or(4);
+    let rows = cli.parsed::<usize>("--rows")?.unwrap_or(64);
+    let cols = cli.parsed::<usize>("--cols")?.unwrap_or(16);
+    let program = load_program(cli)?;
+    let sink = trace_sink(cli)?;
+    let report = run_pipeline(
+        &program,
+        profile_from(cli)?,
+        config_from(cli)?,
+        sink.as_ref(),
+    )?;
+    let json = cli.switch("--json");
+    let plan = &report.parallelization;
+    if !json {
+        print_plan(plan);
+    }
 
     // Generate a random input of the program's main-input type.
-    let profile = profile_from(args)?
+    let profile = profile_from(cli)?
         .with_rows(rows, rows)
         .with_cols(cols, cols);
-    let f =
-        parsynt::lang::functional::RightwardFn::new(&plan.program).map_err(|e| e.to_string())?;
+    let f = parsynt::lang::functional::RightwardFn::new(&plan.program)
+        .map_err(|e| CliError::Exec(e.to_string()))?;
     let mut rng = SmallRng::seed_from_u64(42);
     let inputs: Vec<Value> = parsynt::synth::examples::random_inputs(&f, &profile, &mut rng);
 
-    let sequential = run_program(&plan.program, &inputs).map_err(|e| e.to_string())?;
+    // Execute under the same trace sink so executor events land in the
+    // same JSONL stream as the synthesis events.
+    let _guard = set_ambient(match &sink {
+        Some(s) => Tracer::new(Arc::clone(s) as Arc<dyn TraceSink>),
+        None => Tracer::disabled(),
+    });
+    let sequential =
+        run_program(&plan.program, &inputs).map_err(|e| CliError::Exec(e.to_string()))?;
     let parallel = match &plan.outcome {
-        Outcome::DivideAndConquer { .. } => {
-            run_divide_and_conquer(&plan, &inputs, threads).map_err(|e| e.to_string())?
+        Outcome::DivideAndConquer { .. } => run_divide_and_conquer(plan, &inputs, threads)
+            .map_err(|e| CliError::Exec(e.to_string()))?,
+        Outcome::MapOnly => {
+            run_map_only(plan, &inputs, threads).map_err(|e| CliError::Exec(e.to_string()))?
         }
-        Outcome::MapOnly => run_map_only(&plan, &inputs, threads).map_err(|e| e.to_string())?,
-        Outcome::Unparallelizable { reason } => return Err(format!("nothing to run: {reason}")),
+        Outcome::Unparallelizable { reason } => {
+            return Err(CliError::Exec(format!("nothing to run: {reason}")))
+        }
     };
     if parallel != sequential {
-        return Err("parallel result differs from sequential!".to_owned());
+        return Err(CliError::Exec(
+            "parallel result differs from sequential!".to_owned(),
+        ));
+    }
+    if json {
+        println!("{}", report.to_json_pretty());
+        return Ok(());
     }
     println!("\nexecuted on {threads} threads over a random {rows}-row input: results agree ✓");
     for (sym, value) in sequential.entries() {
@@ -218,26 +396,38 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
-    let tests: usize = flag(args, "--tests")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
-    let (_, plan) = pipeline(args)?;
-    if !plan.is_divide_and_conquer() {
-        return Err("no join to check (not a divide-and-conquer plan)".to_owned());
+fn cmd_check(cli: &Cli) -> Result<(), CliError> {
+    let tests = cli.parsed::<usize>("--tests")?.unwrap_or(200);
+    let program = load_program(cli)?;
+    let sink = trace_sink(cli)?;
+    let report = run_pipeline(
+        &program,
+        profile_from(cli)?,
+        config_from(cli)?,
+        sink.as_ref(),
+    )?;
+    if !report.parallelization.is_divide_and_conquer() {
+        return Err(CliError::Exec(
+            "no join to check (not a divide-and-conquer plan)".to_owned(),
+        ));
     }
-    let profile = profile_from(args)?;
-    let checks =
-        check_homomorphism_law(&plan, &profile, tests, 0xC0DE).map_err(|e| e.to_string())?;
+    let _guard = set_ambient(match &sink {
+        Some(s) => Tracer::new(Arc::clone(s) as Arc<dyn TraceSink>),
+        None => Tracer::disabled(),
+    });
+    let checks = report
+        .check_homomorphism(tests)
+        .map_err(|e| CliError::Exec(e.to_string()))?;
+    if cli.switch("--json") {
+        println!("{}", report.to_json_pretty());
+        return Ok(());
+    }
     println!("homomorphism law h(x • y) = h(x) ⊙ h(y) held on {checks} random splits ✓");
     Ok(())
 }
 
-fn cmd_bench_list() -> Result<(), String> {
-    println!(
-        "{:<22} {:<20} {:>5} {}",
-        "id", "paper name", "dim", "expected"
-    );
+fn cmd_bench_list() -> Result<(), CliError> {
+    println!("{:<22} {:<20} {:>5} expected", "id", "paper name", "dim");
     for b in all_benchmarks() {
         println!(
             "{:<22} {:<20} {:>5} {:?}",
@@ -250,13 +440,60 @@ fn cmd_bench_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let id = args.first().ok_or("missing benchmark id")?;
-    let b = benchmark(id).ok_or_else(|| format!("unknown benchmark `{id}`"))?;
-    let program = parse(b.source).map_err(|e| e.to_string())?;
-    let plan = parallelize_with(&program, &b.profile, &SynthConfig::default())
-        .map_err(|e| e.to_string())?;
-    println!("benchmark: {} ({})", b.id, b.display);
-    print_plan(&plan);
+fn cmd_bench(cli: &Cli) -> Result<(), CliError> {
+    let id = cli
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Usage("missing benchmark id".to_owned()))?;
+    let b = benchmark(id).ok_or_else(|| CliError::Usage(format!("unknown benchmark `{id}`")))?;
+    let program = parse(b.source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let sink = trace_sink(cli)?;
+    let report = run_pipeline(
+        &program,
+        b.profile.clone(),
+        config_from(cli)?,
+        sink.as_ref(),
+    )?;
+    let json = cli.switch("--json");
+    if !json {
+        println!("benchmark: {} ({})", b.id, b.display);
+        print_plan(&report.parallelization);
+    }
+
+    // Execute the native workload (when one is registered) on the
+    // work-stealing runtime, under the same trace sink, so the JSONL
+    // stream carries executor events next to the synthesis events.
+    if !report.parallelization.is_unparallelizable() {
+        if let Some(w) = workload(id) {
+            let threads = cli.parsed::<usize>("--threads")?.unwrap_or(4).max(2);
+            let total = 200_000;
+            let grain = cli.parsed::<usize>("--grain")?.unwrap_or(1_000);
+            let prepared = (w.prepare)(total, 7);
+            let cfg = parsynt::runtime::RunConfig::default()
+                .with_threads(threads)
+                .with_grain(grain);
+            let _guard = set_ambient(match &sink {
+                Some(s) => Tracer::new(Arc::clone(s) as Arc<dyn TraceSink>),
+                None => Tracer::disabled(),
+            });
+            let seq = prepared.sequential();
+            let par = prepared.parallel(cfg);
+            if par != seq {
+                return Err(CliError::Exec(format!(
+                    "native workload `{id}`: parallel digest differs from sequential"
+                )));
+            }
+            if !json {
+                println!(
+                    "\nnative workload: {} outer elements on {threads} threads \
+                     (grain {grain}): digests agree ✓",
+                    prepared.outer_len()
+                );
+            }
+        }
+    }
+    if json {
+        println!("{}", report.to_json_pretty());
+    }
     Ok(())
 }

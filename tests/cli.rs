@@ -81,3 +81,69 @@ fn check_sum_verifies_the_law() {
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("held on 30 random splits"), "{stdout}");
 }
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let (ok, _, stderr) = parsynt(&["parallelize", "programs/sum2d.psl", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
+fn parallelize_json_emits_a_report() {
+    let (ok, stdout, stderr) = parsynt(&["parallelize", "programs/sum2d.psl", "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    let report: parsynt::core::PipelineReportJson =
+        serde_json::from_str(&stdout).expect("stdout is a PipelineReport");
+    assert_eq!(report.outcome, "divide_and_conquer");
+    assert!(report.phase_timings.contains_key("total"));
+}
+
+/// The acceptance path: `bench <id> --json --trace out.jsonl` must emit
+/// a serde-valid `PipelineReport` with non-zero normalize/synthesize
+/// timings AND a JSONL trace carrying rewrite-rule, CEGIS-round, and
+/// runtime-executor events.
+#[test]
+fn bench_json_trace_reports_phases_and_events() {
+    let trace_path =
+        std::env::temp_dir().join(format!("parsynt-cli-trace-{}.jsonl", std::process::id()));
+    let (ok, stdout, stderr) = parsynt(&[
+        "bench",
+        "max_bottom_strip",
+        "--json",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+
+    let report: parsynt::core::PipelineReportJson =
+        serde_json::from_str(&stdout).expect("stdout is a PipelineReport");
+    assert_eq!(report.outcome, "divide_and_conquer", "{stdout}");
+    assert!(report.phase_timings["normalize"] > 0.0, "{stdout}");
+    assert!(report.phase_timings["synthesize"] > 0.0, "{stdout}");
+    assert!(
+        report.counters.contains_key("synthesize.cegis_round"),
+        "{stdout}"
+    );
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let mut seen = std::collections::BTreeSet::new();
+    for line in trace.lines() {
+        let event: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        seen.insert(format!(
+            "{}.{}",
+            event["phase"].as_str().unwrap(),
+            event["name"].as_str().unwrap()
+        ));
+    }
+    for expected in [
+        "normalize.rule_fired",
+        "synthesize.cegis_round",
+        "execute.run_parallel",
+        "execute.worker_steals",
+        "schema.outcome",
+    ] {
+        assert!(seen.contains(expected), "missing `{expected}` in {seen:?}");
+    }
+    std::fs::remove_file(&trace_path).ok();
+}

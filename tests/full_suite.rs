@@ -6,12 +6,10 @@
 //! cargo test --release --test full_suite -- --ignored
 //! ```
 
-use parsynt::core::run_divide_and_conquer;
-use parsynt::core::schema::{parallelize_with, Outcome};
+use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::parse;
 use parsynt::suite::{all_benchmarks, ExpectedOutcome};
-use parsynt::synth::report::SynthConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -20,8 +18,11 @@ use rand::SeedableRng;
 fn every_benchmark_matches_the_paper_outcome() {
     for b in all_benchmarks() {
         let program = parse(b.source).expect(b.id);
-        let plan = parallelize_with(&program, &b.profile, &SynthConfig::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.id));
+        let plan = Pipeline::new(&program)
+            .profile(b.profile.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", b.id))
+            .parallelization;
         match b.expected {
             ExpectedOutcome::DivideAndConquer => assert!(
                 plan.is_divide_and_conquer(),
@@ -37,8 +38,7 @@ fn every_benchmark_matches_the_paper_outcome() {
             }
         }
         // Every plan respects the §6 complexity budget.
-        parsynt::core::validate_budget(&plan)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.id));
+        parsynt::core::validate_budget(&plan).unwrap_or_else(|e| panic!("{}: {e}", b.id));
         // For every divide-and-conquer plan, execute it and cross-check.
         if let Outcome::DivideAndConquer { .. } = plan.outcome {
             let f = parsynt::lang::functional::RightwardFn::new(&plan.program).unwrap();

@@ -1,0 +1,175 @@
+//! Measures how the CEGIS engine scales with parallel candidate
+//! screening (`SynthConfig::with_threads`): per benchmark, the
+//! `synthesize` phase wall-clock at 1 thread vs N threads, the speedup,
+//! and a determinism cross-check (the N-thread join must be
+//! byte-identical to the sequential one).
+//!
+//! The default set is the lifted-join benchmarks — the ones whose
+//! searches screen enough candidates for sharding to pay off; trivial
+//! joins (`sum`) finish in a handful of batches either way.
+//!
+//! Usage: `synth_scaling [--threads N] [--reps R] [--filter substring]
+//!                       [--all] [--json out.json]`
+//!
+//! Writes `BENCH_synth.json` (override with `--json`).
+
+use parsynt_bench::row;
+use parsynt_core::{Outcome, Pipeline};
+use parsynt_lang::parse;
+use parsynt_suite::{all_benchmarks, Benchmark};
+use parsynt_synth::report::SynthConfig;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Benchmarks whose joins only exist after auxiliary lifting — the
+/// searches with enough candidates to shard.
+const LIFTED_JOIN_SET: &[&str] = &[
+    "max_top_strip",
+    "max_bottom_strip",
+    "max_left_strip",
+    "max_dist",
+    "mbbs",
+];
+
+#[derive(Serialize)]
+struct Row {
+    id: String,
+    outcome: String,
+    threads: usize,
+    synth_seq_s: f64,
+    synth_par_s: f64,
+    speedup: f64,
+    deterministic: bool,
+}
+
+struct Run {
+    synth: Duration,
+    join: Option<String>,
+    outcome: String,
+}
+
+fn run_once(b: &Benchmark, threads: usize) -> Run {
+    let program = parse(b.source).expect("benchmark parses");
+    let report = Pipeline::new(&program)
+        .profile(b.profile.clone())
+        .config(SynthConfig::default().with_threads(threads))
+        .run()
+        .unwrap_or_else(|e| panic!("pipeline error on {}: {e}", b.id));
+    let plan = &report.parallelization;
+    let (outcome, join) = match &plan.outcome {
+        Outcome::DivideAndConquer { join, .. } => (
+            "divide_and_conquer".to_owned(),
+            Some(join.render(&plan.program)),
+        ),
+        Outcome::MapOnly => ("map_only".to_owned(), None),
+        Outcome::Unparallelizable { .. } => ("unparallelizable".to_owned(), None),
+    };
+    Run {
+        synth: report
+            .phase_timings
+            .get("synthesize")
+            .copied()
+            .unwrap_or_default(),
+        join,
+        outcome,
+    }
+}
+
+/// Median `synthesize` time over `reps` runs; the joins of every run
+/// must agree (synthesis itself is deterministic per thread count).
+fn measure(b: &Benchmark, threads: usize, reps: usize) -> Run {
+    let mut runs: Vec<Run> = (0..reps.max(1)).map(|_| run_once(b, threads)).collect();
+    runs.sort_by_key(|r| r.synth);
+    let median = runs.len() / 2;
+    runs.swap_remove(median)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let threads: usize = get("--threads").map_or(4, |v| v.parse().expect("--threads"));
+    let reps: usize = get("--reps").map_or(3, |v| v.parse().expect("--reps"));
+    let filter = get("--filter");
+    let all = args.iter().any(|a| a == "--all");
+    let json_path = get("--json").unwrap_or_else(|| "BENCH_synth.json".to_owned());
+
+    let widths = [22, 18, 12, 12, 9, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "benchmark".into(),
+                "outcome".into(),
+                "synth 1t (s)".into(),
+                format!("synth {threads}t (s)"),
+                "speedup".into(),
+                "deterministic".into(),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + widths.len())
+    );
+
+    let mut rows = Vec::new();
+    let mut nondeterministic = 0usize;
+    for b in all_benchmarks() {
+        let selected = match (&filter, all) {
+            (Some(f), _) => b.id.contains(f.as_str()),
+            (None, true) => true,
+            (None, false) => LIFTED_JOIN_SET.contains(&b.id),
+        };
+        if !selected {
+            continue;
+        }
+        let seq = measure(&b, 1, reps);
+        let par = measure(&b, threads, reps);
+        let deterministic = seq.join == par.join && seq.outcome == par.outcome;
+        if !deterministic {
+            nondeterministic += 1;
+        }
+        let speedup = if par.synth.as_secs_f64() > 0.0 {
+            seq.synth.as_secs_f64() / par.synth.as_secs_f64()
+        } else {
+            1.0
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    b.id.into(),
+                    seq.outcome.clone(),
+                    format!("{:.3}", seq.synth.as_secs_f64()),
+                    format!("{:.3}", par.synth.as_secs_f64()),
+                    format!("{speedup:.2}x"),
+                    if deterministic { "yes" } else { "NO" }.into(),
+                ],
+                &widths
+            )
+        );
+        rows.push(Row {
+            id: b.id.to_owned(),
+            outcome: seq.outcome,
+            threads,
+            synth_seq_s: seq.synth.as_secs_f64(),
+            synth_par_s: par.synth.as_secs_f64(),
+            speedup,
+            deterministic,
+        });
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("\nwrote {json_path}");
+    assert_eq!(
+        nondeterministic, 0,
+        "{nondeterministic} benchmark(s) produced a different join under parallel screening"
+    );
+}

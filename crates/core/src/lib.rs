@@ -30,9 +30,16 @@
 //! assert!(report.parallelization.is_divide_and_conquer());
 //! ```
 //!
-//! The pre-0.2 free functions (`parallelize`, `parallelize_with`,
-//! `check_homomorphism_law`) remain as deprecated shims over the same
-//! schema body.
+//! A run is configured through one [`PipelineConfig`] surface —
+//! synthesis knobs ([`parsynt_synth::SynthConfig`], including parallel
+//! candidate screening via `with_synth_threads`), execution knobs
+//! ([`RunConfig`] for [`PipelineReport::execute`]) and tracing
+//! ([`parsynt_trace::TraceConfig`]).
+//!
+//! The pre-0.2 free functions (`schema::parallelize`,
+//! `schema::parallelize_with`, `proof::check_homomorphism_law`) remain
+//! as deprecated module-level shims over the same schema body; they are
+//! no longer re-exported at the crate root.
 
 pub mod budget;
 pub mod exec;
@@ -42,10 +49,8 @@ pub mod schema;
 
 pub use budget::{budget_of, validate_budget, Budget};
 pub use exec::{run_divide_and_conquer, run_map_only};
-pub use pipeline::{Pipeline, PipelineReport, PipelineReportJson, SearchBudget};
-#[allow(deprecated)]
-pub use proof::check_homomorphism_law;
+pub use parsynt_runtime::{Backend, RunConfig};
+pub use parsynt_trace::TraceConfig;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, PipelineReportJson, SearchBudget};
 pub use proof::{check_homomorphism_law_exhaustive, check_join_associativity, proof_obligations};
-#[allow(deprecated)]
-pub use schema::{parallelize, parallelize_with};
 pub use schema::{Outcome, Parallelization, Report};

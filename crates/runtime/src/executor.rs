@@ -91,13 +91,16 @@ pub fn run_sequential<T: DncTask>(task: &T, data: &[T::Item]) -> T::Acc {
 /// non-commutative joins are safe.
 pub fn run_parallel<T: DncTask>(task: &T, data: &[T::Item], config: RunConfig) -> T::Acc {
     let threads = config.threads.max(1);
-    if threads == 1 || data.len() <= config.grain {
+    // `RunConfig::with_grain` clamps, but the struct is constructible
+    // literally; a zero grain must never reach the chunk math.
+    let grain = config.grain.max(1);
+    if threads == 1 || data.len() <= grain {
         return task.work(data);
     }
     let mut exec_span = trace::span("execute", "run_parallel");
     if exec_span.is_enabled() {
         exec_span.record("threads", threads);
-        exec_span.record("grain", config.grain);
+        exec_span.record("grain", grain);
         exec_span.record(
             "backend",
             match config.backend {
@@ -109,7 +112,7 @@ pub fn run_parallel<T: DncTask>(task: &T, data: &[T::Item], config: RunConfig) -
     }
     match config.backend {
         Backend::Static => run_static(task, data, threads),
-        Backend::WorkStealing => run_stealing(task, data, threads, config.grain),
+        Backend::WorkStealing => run_stealing(task, data, threads, grain),
     }
 }
 
@@ -483,6 +486,35 @@ mod tests {
         assert_eq!(counters["execute.worker_chunks"], chunks);
         assert!(counters.contains_key("execute.worker_steals"));
         assert!(agg.phase_timings().contains_key("execute"));
+    }
+
+    #[test]
+    fn zero_grain_is_floored_to_one() {
+        // A literal `grain: 0` bypasses the `with_grain` clamp; the
+        // executor must treat it as 1 (one item per chunk), not divide
+        // by zero or spin.
+        let d = data(257);
+        let seq = run_sequential(&Sum, &d);
+        for backend in [Backend::Static, Backend::WorkStealing] {
+            let cfg = RunConfig {
+                threads: 4,
+                grain: 0,
+                backend,
+            };
+            assert_eq!(run_parallel(&Sum, &d, cfg), seq, "backend {backend:?}");
+        }
+        assert_eq!(
+            run_parallel(
+                &FirstLast,
+                &d,
+                RunConfig {
+                    threads: 3,
+                    grain: 0,
+                    backend: Backend::WorkStealing
+                }
+            ),
+            d
+        );
     }
 
     #[test]

@@ -2,10 +2,17 @@
 //! pruning — the fallback grammar when no sketch matches (e.g. for
 //! freshly lifted auxiliary accumulators that have no original update
 //! statement to imitate).
+//!
+//! Terms are hash-consed into a [`TermPool`] as they are built, and
+//! their observational signatures are computed through an [`EvalCache`]
+//! — a composite term's signature costs one node evaluation per probe,
+//! with all subterm values served from the cache instead of re-walking
+//! the whole tree per candidate.
 
+use crate::intern::{EvalCache, Node, TermId, TermPool};
 use crate::vocab::VocabEntry;
 use parsynt_lang::ast::{BinOp, Expr, UnOp};
-use parsynt_lang::interp::{eval_expr, Env};
+use parsynt_lang::interp::Env;
 use parsynt_lang::{Ty, Value};
 use parsynt_trace as trace;
 use std::cell::Cell;
@@ -72,9 +79,8 @@ type Signature = Vec<Option<Value>>;
 
 #[derive(Debug, Clone)]
 struct Term {
-    expr: Expr,
+    id: TermId,
     ty: Ty,
-    sig: Signature,
 }
 
 /// Bottom-up enumerator over a fixed set of probe environments.
@@ -95,17 +101,28 @@ impl Enumerator {
         Enumerator { probes, cfg }
     }
 
-    fn signature(&self, e: &Expr) -> Signature {
-        self.probes
-            .iter()
-            .map(|env| eval_expr(env, e).ok())
-            .collect()
-    }
-
     /// Enumerate terms of `target_ty` built from `atoms`, in size order,
     /// returning the first accepted by `check`.
     pub fn solve(
         &self,
+        atoms: &[VocabEntry],
+        target_ty: &Ty,
+        check: &mut dyn FnMut(&Expr) -> bool,
+    ) -> Option<Expr> {
+        let mut pool = TermPool::new();
+        let mut cache = EvalCache::new(self.probes.len());
+        let result = self.solve_interned(&mut pool, &mut cache, atoms, target_ty, check);
+        if trace::enabled() && cache.misses() > 0 {
+            trace::counter("synthesize", "eval_cache_hits", cache.hits());
+            trace::counter("synthesize", "eval_cache_misses", cache.misses());
+        }
+        result
+    }
+
+    fn solve_interned(
+        &self,
+        pool: &mut TermPool,
+        cache: &mut EvalCache,
         atoms: &[VocabEntry],
         target_ty: &Ty,
         check: &mut dyn FnMut(&Expr) -> bool,
@@ -119,16 +136,16 @@ impl Enumerator {
         let mut level1 = Vec::new();
         for atom in atoms {
             counts.built();
-            let sig = self.signature(&atom.expr);
-            if seen.insert((atom.ty.clone(), sig.clone())) {
+            let id = pool.intern_expr(&atom.expr);
+            let sig = self.signature(pool, cache, id);
+            if seen.insert((atom.ty.clone(), sig)) {
                 counts.retained();
                 if atom.ty == *target_ty && check(&atom.expr) {
                     return Some(atom.expr.clone());
                 }
                 level1.push(Term {
-                    expr: atom.expr.clone(),
+                    id,
                     ty: atom.ty.clone(),
-                    sig,
                 });
                 total += 1;
             }
@@ -137,40 +154,19 @@ impl Enumerator {
 
         for size in 2..=self.cfg.max_size {
             let mut level: Vec<Term> = Vec::new();
-            let counts = &counts;
-            let offer = |term: Term,
-                         seen: &mut HashSet<(Ty, Signature)>,
-                         level: &mut Vec<Term>,
-                         total: &mut usize,
-                         check: &mut dyn FnMut(&Expr) -> bool|
-             -> Option<Expr> {
-                counts.built();
-                // Terms that fail on every probe are junk.
-                if term.sig.iter().all(Option::is_none) {
-                    return None;
-                }
-                if !seen.insert((term.ty.clone(), term.sig.clone())) {
-                    return None;
-                }
-                counts.retained();
-                let hit = term.ty == *target_ty && check(&term.expr);
-                let expr = term.expr.clone();
-                level.push(term);
-                *total += 1;
-                hit.then_some(expr)
-            };
 
             // Unary: !bool
-            for t in &by_size[size - 1] {
+            let prev = by_size[size - 1].clone();
+            for t in prev {
                 if t.ty == Ty::Bool {
-                    let expr = Expr::Unary(UnOp::Not, Box::new(t.expr.clone()));
-                    let sig = self.signature(&expr);
-                    if let Some(found) = offer(
-                        Term {
-                            expr,
-                            ty: Ty::Bool,
-                            sig,
-                        },
+                    let id = pool.intern(Node::Unary(UnOp::Not, t.id));
+                    if let Some(found) = self.offer(
+                        pool,
+                        cache,
+                        &counts,
+                        target_ty,
+                        id,
+                        Ty::Bool,
                         &mut seen,
                         &mut level,
                         &mut total,
@@ -189,8 +185,8 @@ impl Enumerator {
                 }
                 for i1 in 0..by_size[s1].len() {
                     for i2 in 0..by_size[s2].len() {
-                        let (a, b) = (&by_size[s1][i1], &by_size[s2][i2]);
-                        let mut results: Vec<(Expr, Ty)> = Vec::new();
+                        let (a, b) = (by_size[s1][i1].clone(), by_size[s2][i2].clone());
+                        let mut results: Vec<(Node, Ty)> = Vec::new();
                         if a.ty == Ty::Int && b.ty == Ty::Int {
                             for op in [BinOp::Add, BinOp::Sub, BinOp::Min, BinOp::Max] {
                                 // Commutative ops: only one orientation
@@ -198,27 +194,20 @@ impl Enumerator {
                                 if op != BinOp::Sub && s1 > s2 {
                                     continue;
                                 }
-                                results
-                                    .push((Expr::bin(op, a.expr.clone(), b.expr.clone()), Ty::Int));
+                                results.push((Node::Binary(op, a.id, b.id), Ty::Int));
                             }
                             for op in [BinOp::Le, BinOp::Lt, BinOp::Eq, BinOp::Ge, BinOp::Gt] {
-                                results.push((
-                                    Expr::bin(op, a.expr.clone(), b.expr.clone()),
-                                    Ty::Bool,
-                                ));
+                                results.push((Node::Binary(op, a.id, b.id), Ty::Bool));
                             }
                         } else if a.ty == Ty::Bool && b.ty == Ty::Bool && s1 <= s2 {
-                            results.push((Expr::and(a.expr.clone(), b.expr.clone()), Ty::Bool));
-                            results.push((Expr::or(a.expr.clone(), b.expr.clone()), Ty::Bool));
+                            results.push((Node::Binary(BinOp::And, a.id, b.id), Ty::Bool));
+                            results.push((Node::Binary(BinOp::Or, a.id, b.id), Ty::Bool));
                         }
-                        for (expr, ty) in results {
-                            let sig = self.signature(&expr);
-                            if let Some(found) = offer(
-                                Term { expr, ty, sig },
-                                &mut seen,
-                                &mut level,
-                                &mut total,
-                                check,
+                        for (node, ty) in results {
+                            let id = pool.intern(node);
+                            if let Some(found) = self.offer(
+                                pool, cache, &counts, target_ty, id, ty, &mut seen, &mut level,
+                                &mut total, check,
                             ) {
                                 return Some(found);
                             }
@@ -245,23 +234,22 @@ impl Enumerator {
                         for c in 0..by_size[sc].len() {
                             for t in 0..by_size[st].len() {
                                 for e2 in 0..by_size[se].len() {
-                                    let (vc, vt, ve) =
-                                        (&by_size[sc][c], &by_size[st][t], &by_size[se][e2]);
+                                    let (vc, vt, ve) = (
+                                        by_size[sc][c].clone(),
+                                        by_size[st][t].clone(),
+                                        by_size[se][e2].clone(),
+                                    );
                                     if vc.ty != Ty::Bool || vt.ty != Ty::Int || ve.ty != Ty::Int {
                                         continue;
                                     }
-                                    let expr = Expr::ite(
-                                        vc.expr.clone(),
-                                        vt.expr.clone(),
-                                        ve.expr.clone(),
-                                    );
-                                    let sig = self.signature(&expr);
-                                    if let Some(found) = offer(
-                                        Term {
-                                            expr,
-                                            ty: Ty::Int,
-                                            sig,
-                                        },
+                                    let id = pool.intern(Node::Ite(vc.id, vt.id, ve.id));
+                                    if let Some(found) = self.offer(
+                                        pool,
+                                        cache,
+                                        &counts,
+                                        target_ty,
+                                        id,
+                                        Ty::Int,
                                         &mut seen,
                                         &mut level,
                                         &mut total,
@@ -286,12 +274,59 @@ impl Enumerator {
         }
         None
     }
+
+    fn signature(&self, pool: &TermPool, cache: &mut EvalCache, id: TermId) -> Signature {
+        self.probes
+            .iter()
+            .enumerate()
+            .map(|(case, env)| cache.eval(pool, case, env, id))
+            .collect()
+    }
+
+    /// Filter a freshly built term (junk / observational duplicate),
+    /// retain it, and — when it has the target type — materialize the
+    /// expression and offer it to `check`.
+    #[allow(clippy::too_many_arguments)] // threads the whole enumeration state
+    fn offer(
+        &self,
+        pool: &TermPool,
+        cache: &mut EvalCache,
+        counts: &EnumTraceGuard,
+        target_ty: &Ty,
+        id: TermId,
+        ty: Ty,
+        seen: &mut HashSet<(Ty, Signature)>,
+        level: &mut Vec<Term>,
+        total: &mut usize,
+        check: &mut dyn FnMut(&Expr) -> bool,
+    ) -> Option<Expr> {
+        counts.built();
+        let sig = self.signature(pool, cache, id);
+        // Terms that fail on every probe are junk.
+        if sig.iter().all(Option::is_none) {
+            return None;
+        }
+        if !seen.insert((ty.clone(), sig)) {
+            return None;
+        }
+        counts.retained();
+        let hit = if ty == *target_ty {
+            let expr = pool.to_expr(id);
+            check(&expr).then_some(expr)
+        } else {
+            None
+        };
+        level.push(Term { id, ty });
+        *total += 1;
+        hit
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use parsynt_lang::ast::{Interner, Sym};
+    use parsynt_lang::interp::eval_expr;
 
     /// Build probe environments binding the given symbols to the given
     /// per-probe values.

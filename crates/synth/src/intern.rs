@@ -1,0 +1,363 @@
+//! Hash-consed term interning with per-case memoized evaluation.
+//!
+//! The bottom-up enumerator builds candidate terms out of previously
+//! retained subterms, so structurally shared subtrees appear in many
+//! candidates. Interning every term into a [`TermPool`] gives each
+//! distinct subtree a single [`TermId`]; an [`EvalCache`] then memoizes
+//! the value of every `(probe case, term)` pair, so a shared subterm is
+//! executed once per probe instead of once per candidate that contains
+//! it.
+//!
+//! Evaluation semantics mirror [`parsynt_lang::interp::eval_expr`]
+//! exactly (wrapping arithmetic, short-circuit `&&`/`||`, lazily
+//! evaluated `?:` branches); evaluation *errors* (unbound variables,
+//! out-of-bounds indexing, division by zero, …) are represented as
+//! `None`, matching how the enumerator's observational signatures treat
+//! them.
+
+use parsynt_lang::ast::{BinOp, Expr, Sym, UnOp};
+use parsynt_lang::interp::{eval_binop, Env};
+use parsynt_lang::Value;
+use std::collections::HashMap;
+
+/// Identity of an interned term inside a [`TermPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Position of the term's node in the pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One structural node. Children are [`TermId`]s, so a node is a flat,
+/// `Copy` value and structurally equal subterms share storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(Sym),
+    /// `base[idx]`.
+    Index(TermId, TermId),
+    /// `len(seq)`.
+    Len(TermId),
+    /// `zeros(n)`.
+    Zeros(TermId),
+    /// Unary operation.
+    Unary(UnOp, TermId),
+    /// Binary operation.
+    Binary(BinOp, TermId, TermId),
+    /// `cond ? then : else`.
+    Ite(TermId, TermId, TermId),
+}
+
+/// A hash-consing pool: each distinct [`Node`] is stored once and
+/// addressed by its [`TermId`].
+#[derive(Debug, Default)]
+pub struct TermPool {
+    nodes: Vec<Node>,
+    ids: HashMap<Node, TermId>,
+    hits: u64,
+}
+
+impl TermPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TermPool::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// How many `intern` calls found an existing node (structural
+    /// sharing actually exploited).
+    pub fn dedup_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The node behind `id`.
+    pub fn node(&self, id: TermId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// Intern a node, returning the id of the existing copy if one is
+    /// already present.
+    pub fn intern(&mut self, node: Node) -> TermId {
+        if let Some(&id) = self.ids.get(&node) {
+            self.hits += 1;
+            return id;
+        }
+        let id = TermId(u32::try_from(self.nodes.len()).expect("term pool overflow"));
+        self.nodes.push(node);
+        self.ids.insert(node, id);
+        id
+    }
+
+    /// Intern a whole expression tree bottom-up.
+    pub fn intern_expr(&mut self, e: &Expr) -> TermId {
+        let node = match e {
+            Expr::Int(n) => Node::Int(*n),
+            Expr::Bool(b) => Node::Bool(*b),
+            Expr::Var(s) => Node::Var(*s),
+            Expr::Index(base, idx) => {
+                let b = self.intern_expr(base);
+                let i = self.intern_expr(idx);
+                Node::Index(b, i)
+            }
+            Expr::Len(inner) => {
+                let x = self.intern_expr(inner);
+                Node::Len(x)
+            }
+            Expr::Zeros(n) => {
+                let x = self.intern_expr(n);
+                Node::Zeros(x)
+            }
+            Expr::Unary(op, inner) => {
+                let x = self.intern_expr(inner);
+                Node::Unary(*op, x)
+            }
+            Expr::Binary(op, a, b) => {
+                let x = self.intern_expr(a);
+                let y = self.intern_expr(b);
+                Node::Binary(*op, x, y)
+            }
+            Expr::Ite(c, t, e2) => {
+                let c = self.intern_expr(c);
+                let t = self.intern_expr(t);
+                let e2 = self.intern_expr(e2);
+                Node::Ite(c, t, e2)
+            }
+        };
+        self.intern(node)
+    }
+
+    /// Reconstruct the expression tree behind `id`.
+    pub fn to_expr(&self, id: TermId) -> Expr {
+        match self.node(id) {
+            Node::Int(n) => Expr::Int(n),
+            Node::Bool(b) => Expr::Bool(b),
+            Node::Var(s) => Expr::Var(s),
+            Node::Index(b, i) => Expr::Index(Box::new(self.to_expr(b)), Box::new(self.to_expr(i))),
+            Node::Len(x) => Expr::Len(Box::new(self.to_expr(x))),
+            Node::Zeros(x) => Expr::Zeros(Box::new(self.to_expr(x))),
+            Node::Unary(op, x) => Expr::Unary(op, Box::new(self.to_expr(x))),
+            Node::Binary(op, a, b) => {
+                Expr::Binary(op, Box::new(self.to_expr(a)), Box::new(self.to_expr(b)))
+            }
+            Node::Ite(c, t, e) => Expr::Ite(
+                Box::new(self.to_expr(c)),
+                Box::new(self.to_expr(t)),
+                Box::new(self.to_expr(e)),
+            ),
+        }
+    }
+}
+
+/// Memoized evaluation of interned terms over a fixed set of probe
+/// cases. Case `k` must always be paired with the same environment —
+/// the cache trusts the caller on this, exactly like the enumerator's
+/// probe list, whose indices it mirrors.
+#[derive(Debug)]
+pub struct EvalCache {
+    /// `slots[case][term]`: `None` = not yet computed, `Some(None)` =
+    /// evaluation failed, `Some(Some(v))` = evaluated to `v`.
+    slots: Vec<Vec<Option<Option<Value>>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalCache {
+    /// A cache over `cases` probe environments.
+    pub fn new(cases: usize) -> Self {
+        EvalCache {
+            slots: vec![Vec::new(); cases],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Memoized lookups that found a cached value.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to evaluate the term.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evaluate `id` in probe case `case` with environment `env`,
+    /// memoizing the result. `None` means evaluation failed (matching
+    /// `eval_expr(env, e).ok()`).
+    pub fn eval(&mut self, pool: &TermPool, case: usize, env: &Env, id: TermId) -> Option<Value> {
+        if let Some(cached) = self.slots[case].get(id.index()).and_then(Clone::clone) {
+            self.hits += 1;
+            return cached;
+        }
+        self.misses += 1;
+        let value = self.compute(pool, case, env, pool.node(id));
+        let row = &mut self.slots[case];
+        if row.len() <= id.index() {
+            row.resize(id.index() + 1, None);
+        }
+        row[id.index()] = Some(value.clone());
+        value
+    }
+
+    fn compute(&mut self, pool: &TermPool, case: usize, env: &Env, node: Node) -> Option<Value> {
+        match node {
+            Node::Int(n) => Some(Value::Int(n)),
+            Node::Bool(b) => Some(Value::Bool(b)),
+            Node::Var(s) => env.get(s).ok().cloned(),
+            Node::Index(b, i) => {
+                let base = self.eval(pool, case, env, b)?;
+                let idx = self.eval(pool, case, env, i)?.as_int()?;
+                let items = base.as_seq()?;
+                usize::try_from(idx)
+                    .ok()
+                    .and_then(|k| items.get(k))
+                    .cloned()
+            }
+            Node::Len(x) => {
+                let v = self.eval(pool, case, env, x)?;
+                v.len().map(|n| Value::Int(n as i64))
+            }
+            Node::Zeros(x) => {
+                let n = self.eval(pool, case, env, x)?.as_int()?;
+                let n = usize::try_from(n).ok()?;
+                Some(Value::Seq(vec![Value::Int(0); n]))
+            }
+            Node::Unary(op, x) => match (op, self.eval(pool, case, env, x)?) {
+                (UnOp::Neg, Value::Int(n)) => Some(Value::Int(n.wrapping_neg())),
+                (UnOp::Not, Value::Bool(b)) => Some(Value::Bool(!b)),
+                _ => None,
+            },
+            Node::Binary(op, a, b) => {
+                // Short-circuit boolean operators: a type error or
+                // failure on the right operand must not leak through
+                // when the left operand already decides the result.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let av = self.eval(pool, case, env, a)?.as_bool()?;
+                    return match (op, av) {
+                        (BinOp::And, false) => Some(Value::Bool(false)),
+                        (BinOp::Or, true) => Some(Value::Bool(true)),
+                        _ => self.eval(pool, case, env, b)?.as_bool().map(Value::Bool),
+                    };
+                }
+                let av = self.eval(pool, case, env, a)?;
+                let bv = self.eval(pool, case, env, b)?;
+                eval_binop(op, &av, &bv).ok()
+            }
+            Node::Ite(c, t, e) => {
+                if self.eval(pool, case, env, c)?.as_bool()? {
+                    self.eval(pool, case, env, t)
+                } else {
+                    self.eval(pool, case, env, e)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::interp::eval_expr;
+
+    fn env_with(bindings: &[(u32, Value)]) -> Env {
+        let p = parsynt_lang::parse(
+            "input q : seq<int>; state w : int = 0; for i in 0 .. len(q) { w = 0; }",
+        )
+        .unwrap();
+        let mut env = Env::for_program(&p);
+        for (s, v) in bindings {
+            env.set(Sym(*s), v.clone());
+        }
+        env
+    }
+
+    #[test]
+    fn hash_consing_shares_structurally_equal_subterms() {
+        let mut pool = TermPool::new();
+        let x = Expr::var(Sym(0));
+        let a = pool.intern_expr(&Expr::add(x.clone(), x.clone()));
+        let b = pool.intern_expr(&Expr::add(x.clone(), x.clone()));
+        assert_eq!(a, b);
+        // `x`, `x + x` — the second `x` and the repeat interning are hits.
+        assert_eq!(pool.len(), 2);
+        assert!(pool.dedup_hits() >= 2);
+    }
+
+    #[test]
+    fn to_expr_round_trips() {
+        let mut pool = TermPool::new();
+        let e = Expr::ite(
+            Expr::bin(BinOp::Le, Expr::var(Sym(0)), Expr::int(3)),
+            Expr::add(Expr::var(Sym(0)), Expr::int(1)),
+            Expr::max(Expr::var(Sym(1)), Expr::int(0)),
+        );
+        let id = pool.intern_expr(&e);
+        assert_eq!(pool.to_expr(id), e);
+    }
+
+    #[test]
+    fn cached_eval_matches_interpreter_on_error_cases() {
+        let env = env_with(&[(0, Value::Int(7)), (1, Value::Seq(vec![Value::Int(5)]))]);
+        let exprs = [
+            Expr::bin(BinOp::Div, Expr::var(Sym(0)), Expr::int(0)), // div by zero
+            Expr::index(Expr::var(Sym(1)), Expr::int(9)),           // out of bounds
+            Expr::var(Sym(3)),                                      // unbound
+            Expr::and(Expr::Bool(false), Expr::var(Sym(3))),        // short-circuit hides error
+            Expr::or(Expr::Bool(true), Expr::var(Sym(3))),
+            Expr::ite(Expr::Bool(true), Expr::int(1), Expr::var(Sym(3))),
+            Expr::Zeros(Box::new(Expr::int(-1))),
+            Expr::Len(Box::new(Expr::var(Sym(1)))),
+        ];
+        let mut pool = TermPool::new();
+        let mut cache = EvalCache::new(1);
+        for e in &exprs {
+            let id = pool.intern_expr(e);
+            assert_eq!(
+                cache.eval(&pool, 0, &env, id),
+                eval_expr(&env, e).ok(),
+                "mismatch on {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_eval_is_a_cache_hit() {
+        let env = env_with(&[(0, Value::Int(2))]);
+        let mut pool = TermPool::new();
+        let mut cache = EvalCache::new(1);
+        let id = pool.intern_expr(&Expr::add(Expr::var(Sym(0)), Expr::int(1)));
+        assert_eq!(cache.eval(&pool, 0, &env, id), Some(Value::Int(3)));
+        let misses = cache.misses();
+        assert_eq!(cache.eval(&pool, 0, &env, id), Some(Value::Int(3)));
+        assert_eq!(cache.misses(), misses, "no recomputation expected");
+        assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn cases_are_cached_independently() {
+        let e0 = env_with(&[(0, Value::Int(1))]);
+        let e1 = env_with(&[(0, Value::Int(5))]);
+        let mut pool = TermPool::new();
+        let mut cache = EvalCache::new(2);
+        let id = pool.intern_expr(&Expr::var(Sym(0)));
+        assert_eq!(cache.eval(&pool, 0, &e0, id), Some(Value::Int(1)));
+        assert_eq!(cache.eval(&pool, 1, &e1, id), Some(Value::Int(5)));
+        assert_eq!(cache.eval(&pool, 0, &e0, id), Some(Value::Int(1)));
+    }
+}

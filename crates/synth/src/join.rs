@@ -266,6 +266,7 @@ pub fn synthesize_join(
 ) -> Result<(JoinResult, JoinVocab)> {
     let start = Instant::now();
     let mut join_span = trace::span("synthesize", "join");
+    join_span.record("threads", cfg.threads);
     let vocab = JoinVocab::install(program);
     let program: &Program = program;
     let f = RightwardFn::new(program)?;

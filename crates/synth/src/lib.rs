@@ -21,12 +21,21 @@
 //! * bottom-up enumeration with observational-equivalence pruning as the
 //!   fallback grammar ([`enumerate`]);
 //! * bounded verification against the reference interpreter on randomized
-//!   split inputs ([`examples`]), mirroring Rosette's bounded checks.
+//!   split inputs ([`examples`]), mirroring Rosette's bounded checks;
+//! * hash-consed terms with per-probe memoized evaluation ([`intern`]),
+//!   so structurally shared subterms are executed once, not once per
+//!   candidate;
+//! * optional parallel candidate screening ([`parallel`]): a scoped
+//!   worker pool with first-verified-solution-wins and a deterministic
+//!   minimum-index tie-break, enabled via
+//!   [`SynthConfig::with_threads`].
 
 pub mod enumerate;
 pub mod examples;
+pub mod intern;
 pub mod join;
 pub mod merge;
+pub mod parallel;
 pub mod report;
 pub mod simplify;
 pub mod sketch;
@@ -35,6 +44,7 @@ pub mod templates;
 pub mod vocab;
 
 pub use examples::{InputProfile, JoinExample, MergeExample};
+pub use intern::{EvalCache, TermId, TermPool};
 pub use join::{apply_join, synthesize_join, JoinResult, JoinVocab, SynthesizedJoin};
 pub use merge::{apply_merge, synthesize_merge, MergeResult, MergeVocab, SynthesizedMerge};
 pub use report::SynthConfig;

@@ -284,6 +284,7 @@ pub fn synthesize_merge(
 ) -> Result<(MergeResult, MergeVocab)> {
     let start = Instant::now();
     let mut merge_span = trace::span("synthesize", "merge");
+    merge_span.record("threads", cfg.threads);
     let inner_vars: Vec<(Sym, Ty)> = {
         let f = RightwardFn::new(program)?;
         f.inner_vars().to_vec()

@@ -33,6 +33,12 @@ pub struct SynthConfig {
     /// and looped joins do not share a loop body — the monolithic
     /// baseline the paper compares against (mtls: >1000 s vs 116.3 s).
     pub incremental: bool,
+    /// Worker threads for candidate screening. `1` (the default) keeps
+    /// the fully sequential CEGIS loop; `> 1` shards screening over a
+    /// scoped pool with a first-verified-solution-wins protocol whose
+    /// minimum-index tie-break makes the result identical to the
+    /// sequential path's.
+    pub threads: usize,
 }
 
 impl Default for SynthConfig {
@@ -45,6 +51,7 @@ impl Default for SynthConfig {
             use_sketches: true,
             seed: 0xC0FFEE,
             incremental: true,
+            threads: 1,
         }
     }
 }
@@ -67,6 +74,28 @@ impl SynthConfig {
     /// monolithic ablation of §9.
     pub fn monolithic(mut self) -> Self {
         self.incremental = false;
+        self
+    }
+
+    /// Set the candidate-screening thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the maximum term size of the enumerative fallback (clamped
+    /// to at least 1).
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.enum_cfg.max_size = depth.max(1);
+        self
+    }
+
+    /// Set the search / bounded-verification example counts. At least
+    /// one search example is kept; `verify` may be 0 to disable the
+    /// CEGIS feedback set.
+    pub fn with_examples(mut self, search: usize, verify: usize) -> Self {
+        self.search_examples = search.max(1);
+        self.verify_examples = verify;
         self
     }
 }
@@ -99,5 +128,20 @@ mod tests {
     fn ablation_toggle() {
         let cfg = SynthConfig::default().without_sketches();
         assert!(!cfg.use_sketches);
+    }
+
+    #[test]
+    fn builders_clamp_and_compose() {
+        let cfg = SynthConfig::default()
+            .with_threads(0)
+            .with_depth(0)
+            .with_examples(0, 0)
+            .with_seed(7);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.enum_cfg.max_size, 1);
+        assert_eq!(cfg.search_examples, 1);
+        assert_eq!(cfg.verify_examples, 0);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(SynthConfig::default().with_threads(4).threads, 4);
     }
 }

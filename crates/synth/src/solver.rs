@@ -8,6 +8,7 @@
 //! remain, and their candidates may reference the already-joined values.
 
 use crate::enumerate::Enumerator;
+use crate::parallel::BatchScreen;
 use crate::report::{SynthConfig, VarStats};
 use crate::sketch::{generic_sketches, holeify, solve_sketch_related, Sketch};
 use crate::vocab::{compound_candidates, VocabEntry};
@@ -83,6 +84,21 @@ impl CaseSet {
             return false;
         }
         true
+    }
+
+    /// Side-effect-free acceptance test used by the parallel screen:
+    /// the candidate must pass **every** case, search and verify alike.
+    ///
+    /// This returns the same verdict as [`CaseSet::accepts`] — the
+    /// mutating version only *moves* cases between the two sets, never
+    /// adds or removes one, so "passes all search cases and all verify
+    /// cases" is invariant under promotion. Being `&self`, it is safe
+    /// to call concurrently from worker threads.
+    pub fn accepts_pure(&self, stmts: &[Stmt], target: Sym) -> bool {
+        self.search
+            .iter()
+            .chain(self.verify.iter())
+            .all(|c| Self::check_stmts(c, stmts, target))
     }
 
     /// Execute a solved statement into every case environment (so later
@@ -169,7 +185,7 @@ impl<'p> VarSolver<'p> {
         solved: &mut Vec<Stmt>,
     ) -> bool {
         let target_ty = ty_of(target).unwrap_or(Ty::Int);
-        let make_stmt = |expr: &Expr| Stmt::Assign {
+        let make_stmt = move |expr: &Expr| Stmt::Assign {
             target: LValue::var(target),
             value: expr.clone(),
         };
@@ -186,21 +202,16 @@ impl<'p> VarSolver<'p> {
             for template in templates {
                 let mut interner = self.program.interner.clone();
                 let sketch = holeify(template, &mut interner, ty_of, &|_| false);
-                let cases = &mut self.cases;
-                let related = self.related.clone();
-                let mut local_tries = 0usize;
-                let found = solve_sketch_related(
+                if let Some(expr) = drive_sketch(
+                    &mut self.cases,
+                    &self.cfg,
                     &sketch,
                     &candidates,
-                    self.cfg.max_sketch_tries,
-                    &|s| related(s),
-                    &mut |e| {
-                        local_tries += 1;
-                        cases.accepts(&[make_stmt(e)], target)
-                    },
-                );
-                tries += local_tries;
-                if let Some((expr, _)) = found {
+                    &self.related,
+                    target,
+                    &make_stmt,
+                    &mut tries,
+                ) {
                     return self.accept_scalar(target, expr, tries, true, solved);
                 }
             }
@@ -211,21 +222,16 @@ impl<'p> VarSolver<'p> {
             let mut interner = self.program.interner.clone();
             let generic: Vec<Sketch> = generic_sketches(&target_ty, &mut interner);
             for sketch in &generic {
-                let cases = &mut self.cases;
-                let related = self.related.clone();
-                let mut local_tries = 0usize;
-                let found = solve_sketch_related(
+                if let Some(expr) = drive_sketch(
+                    &mut self.cases,
+                    &self.cfg,
                     sketch,
                     &candidates,
-                    self.cfg.max_sketch_tries,
-                    &|s| related(s),
-                    &mut |e| {
-                        local_tries += 1;
-                        cases.accepts(&[make_stmt(e)], target)
-                    },
-                );
-                tries += local_tries;
-                if let Some((expr, _)) = found {
+                    &self.related,
+                    target,
+                    &make_stmt,
+                    &mut tries,
+                ) {
                     return self.accept_scalar(target, expr, tries, true, solved);
                 }
             }
@@ -240,14 +246,16 @@ impl<'p> VarSolver<'p> {
             .map(|c| c.env.clone())
             .collect();
         let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone());
-        let found = {
-            let cases = &mut self.cases;
-            enumerator.solve(&self.scalar_atoms, &target_ty, &mut |e| {
-                tries += 1;
-                cases.accepts(&[make_stmt(e)], target)
-            })
-        };
-        if let Some(expr) = found {
+        if let Some(expr) = drive_enum(
+            &mut self.cases,
+            &self.cfg,
+            &enumerator,
+            &self.scalar_atoms,
+            &target_ty,
+            target,
+            &make_stmt,
+            &mut tries,
+        ) {
             return self.accept_scalar(target, expr, tries, false, solved);
         }
         false
@@ -344,22 +352,16 @@ impl<'p> VarSolver<'p> {
             for template in templates {
                 let mut interner = self.program.interner.clone();
                 let sketch = holeify(template, &mut interner, ty_of, &|_| false);
-                let cases = &mut self.cases;
-                let related = self.related.clone();
-                let mut local_tries = 0usize;
-                let found = solve_sketch_related(
+                if let Some(expr) = drive_sketch(
+                    &mut self.cases,
+                    &self.cfg,
                     &sketch,
                     &candidates,
-                    self.cfg.max_sketch_tries,
-                    &|s| related(s),
-                    &mut |e| {
-                        local_tries += 1;
-                        let stmt = make_loop(e);
-                        cases.accepts(std::slice::from_ref(&stmt), target)
-                    },
-                );
-                tries += local_tries;
-                if let Some((expr, _)) = found {
+                    &self.related,
+                    target,
+                    &make_loop,
+                    &mut tries,
+                ) {
                     return self.accept_in_loop(target, is_array, expr, tries, true);
                 }
             }
@@ -368,22 +370,16 @@ impl<'p> VarSolver<'p> {
             let mut interner = self.program.interner.clone();
             let generic: Vec<Sketch> = generic_sketches(&elem_ty, &mut interner);
             for sketch in &generic {
-                let cases = &mut self.cases;
-                let related = self.related.clone();
-                let mut local_tries = 0usize;
-                let found = solve_sketch_related(
+                if let Some(expr) = drive_sketch(
+                    &mut self.cases,
+                    &self.cfg,
                     sketch,
                     &candidates,
-                    self.cfg.max_sketch_tries,
-                    &|s| related(s),
-                    &mut |e| {
-                        local_tries += 1;
-                        let stmt = make_loop(e);
-                        cases.accepts(std::slice::from_ref(&stmt), target)
-                    },
-                );
-                tries += local_tries;
-                if let Some((expr, _)) = found {
+                    &self.related,
+                    target,
+                    &make_loop,
+                    &mut tries,
+                ) {
                     return self.accept_in_loop(target, is_array, expr, tries, true);
                 }
             }
@@ -400,15 +396,16 @@ impl<'p> VarSolver<'p> {
             }
         }
         let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone());
-        let found = {
-            let cases = &mut self.cases;
-            enumerator.solve(&self.loop_atoms, &elem_ty, &mut |e| {
-                tries += 1;
-                let stmt = make_loop(e);
-                cases.accepts(std::slice::from_ref(&stmt), target)
-            })
-        };
-        if let Some(expr) = found {
+        if let Some(expr) = drive_enum(
+            &mut self.cases,
+            &self.cfg,
+            &enumerator,
+            &self.loop_atoms,
+            &elem_ty,
+            target,
+            &make_loop,
+            &mut tries,
+        ) {
             return self.accept_in_loop(target, is_array, expr, tries, false);
         }
         false
@@ -458,6 +455,86 @@ impl<'p> VarSolver<'p> {
         };
         self.cases.commit(&stmt);
         solved.push(stmt);
+    }
+}
+
+/// Screen one sketch's hole fillings against the case set, dispatching
+/// on `cfg.threads`.
+///
+/// Sequential mode calls the mutating [`CaseSet::accepts`] per
+/// candidate (promoting verify counterexamples as it goes). Parallel
+/// mode streams the same candidates, in the same order, through a
+/// [`BatchScreen`] using the side-effect-free [`CaseSet::accepts_pure`]
+/// — the two return the same winning expression (see `accepts_pure`).
+/// `tries` counts offered candidates either way.
+#[allow(clippy::too_many_arguments)] // one site per knob of the search
+fn drive_sketch(
+    cases: &mut CaseSet,
+    cfg: &SynthConfig,
+    sketch: &Sketch,
+    candidates: &[VocabEntry],
+    related: &std::rc::Rc<dyn Fn(Sym) -> Vec<Sym>>,
+    target: Sym,
+    build: &(dyn Fn(&Expr) -> Stmt + Sync),
+    tries: &mut usize,
+) -> Option<Expr> {
+    if cfg.threads > 1 {
+        let mut screen = BatchScreen::new(cfg.threads, cases, target, build);
+        let _ = solve_sketch_related(
+            sketch,
+            candidates,
+            cfg.max_sketch_tries,
+            &|s| related(s),
+            &mut |e| {
+                *tries += 1;
+                screen.offer(e)
+            },
+        );
+        // The tail batch must flush before this sketch is declared
+        // fruitless — and when the generator was cancelled mid-batch,
+        // the *screen's* winner (minimum passing index) is the result,
+        // not whatever candidate the generator stopped at.
+        screen.finish()
+    } else {
+        solve_sketch_related(
+            sketch,
+            candidates,
+            cfg.max_sketch_tries,
+            &|s| related(s),
+            &mut |e| {
+                *tries += 1;
+                cases.accepts(&[build(e)], target)
+            },
+        )
+        .map(|(expr, _)| expr)
+    }
+}
+
+/// Screen the bottom-up enumerator's terms against the case set,
+/// dispatching on `cfg.threads` exactly like [`drive_sketch`].
+#[allow(clippy::too_many_arguments)]
+fn drive_enum(
+    cases: &mut CaseSet,
+    cfg: &SynthConfig,
+    enumerator: &Enumerator,
+    atoms: &[VocabEntry],
+    target_ty: &Ty,
+    target: Sym,
+    build: &(dyn Fn(&Expr) -> Stmt + Sync),
+    tries: &mut usize,
+) -> Option<Expr> {
+    if cfg.threads > 1 {
+        let mut screen = BatchScreen::new(cfg.threads, cases, target, build);
+        let _ = enumerator.solve(atoms, target_ty, &mut |e| {
+            *tries += 1;
+            screen.offer(e)
+        });
+        screen.finish()
+    } else {
+        enumerator.solve(atoms, target_ty, &mut |e| {
+            *tries += 1;
+            cases.accepts(&[build(e)], target)
+        })
     }
 }
 

@@ -1,0 +1,111 @@
+//! Property-based agreement between the memoized interned evaluator
+//! ([`parsynt_synth::intern`]) and the reference interpreter's
+//! `eval_expr` — including on ill-typed and failing expressions, where
+//! both sides must agree that evaluation fails (`None` vs `Err`). The
+//! enumerator's observational-equivalence signatures depend on this
+//! agreement being exact.
+
+use parsynt_lang::ast::{BinOp, Expr, Sym, UnOp};
+use parsynt_lang::interp::{eval_expr, Env};
+use parsynt_lang::Value;
+use parsynt_synth::{EvalCache, TermPool};
+use proptest::prelude::*;
+
+/// Environment with `Sym(0)`/`Sym(1)` ints, `Sym(2)` a sequence, and
+/// `Sym(3)` a bool; `Sym(9)` is deliberately left unbound.
+fn env_with(x: i64, y: i64, seq: &[i64], flag: bool) -> Env {
+    let p = parsynt_lang::parse(
+        "input q : seq<int>; state w : int = 0; for i in 0 .. len(q) { w = 0; }",
+    )
+    .unwrap();
+    let mut env = Env::for_program(&p);
+    env.set(Sym(0), Value::Int(x));
+    env.set(Sym(1), Value::Int(y));
+    env.set(
+        Sym(2),
+        Value::Seq(seq.iter().map(|&n| Value::Int(n)).collect()),
+    );
+    env.set(Sym(3), Value::Bool(flag));
+    env
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// Arbitrary expression trees over the fixed vocabulary. Deliberately
+/// untyped: ill-typed combinations (e.g. `flag + 1`, `len(x)`) are
+/// valuable cases, because both evaluators must agree they fail.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-6i64..=6).prop_map(Expr::int),
+        any::<bool>().prop_map(Expr::Bool),
+        Just(Expr::var(Sym(0))),
+        Just(Expr::var(Sym(1))),
+        Just(Expr::var(Sym(2))),
+        Just(Expr::var(Sym(3))),
+        Just(Expr::var(Sym(9))), // unbound
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
+                .prop_map(|(op, x)| Expr::Unary(op, Box::new(x))),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::index(b, i)),
+            inner.clone().prop_map(|x| Expr::Len(Box::new(x))),
+            inner.clone().prop_map(|x| Expr::Zeros(Box::new(x))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Interned, memoized evaluation agrees with `eval_expr` on every
+    /// expression and environment — values and failures alike.
+    #[test]
+    fn interned_eval_agrees_with_interpreter(
+        e in arb_expr(),
+        x in -5i64..=5,
+        y in -5i64..=5,
+        seq in proptest::collection::vec(-5i64..=5, 0..4),
+        flag in any::<bool>(),
+    ) {
+        let env = env_with(x, y, &seq, flag);
+        let mut pool = TermPool::new();
+        let mut cache = EvalCache::new(1);
+        let id = pool.intern_expr(&e);
+        let expected = eval_expr(&env, &e).ok();
+        // First evaluation computes, second must serve from cache.
+        prop_assert_eq!(cache.eval(&pool, 0, &env, id), expected.clone(), "fresh eval: {:?}", e);
+        let misses = cache.misses();
+        prop_assert_eq!(cache.eval(&pool, 0, &env, id), expected, "cached eval: {:?}", e);
+        prop_assert_eq!(cache.misses(), misses, "second eval recomputed: {:?}", e);
+    }
+
+    /// Interning is faithful: reconstructing the tree gives back an
+    /// identical expression.
+    #[test]
+    fn intern_round_trips(e in arb_expr()) {
+        let mut pool = TermPool::new();
+        let id = pool.intern_expr(&e);
+        prop_assert_eq!(pool.to_expr(id), e);
+    }
+}

@@ -53,6 +53,23 @@
 //! `lift/aux_discovered` (point), `execute/worker` (point,
 //! `fields.steals`/`fields.chunks`) and `execute/steals` (counter).
 //!
+//! Parallel candidate screening (`SynthConfig::with_threads > 1`) adds:
+//!
+//! * `synthesize/par_screened` (counter) — total candidates screened by
+//!   the worker pool;
+//! * `synthesize/screen_worker` (point, `fields.worker`,
+//!   `fields.screened`) — one per worker, its candidate tally;
+//! * `synthesize/parallel_screen` (point, `fields.workers`,
+//!   `fields.flushes`, `fields.screened`, `fields.cancel_latency_us`,
+//!   `fields.winner`) — one per screened search, summarizing pool
+//!   shape and the time between the first verified solution and full
+//!   pool quiescence;
+//! * `synthesize/eval_cache_hits` / `synthesize/eval_cache_misses`
+//!   (counters) — memoized-evaluation hit rate of the hash-consed term
+//!   pool (`parsynt-synth`'s `intern` module);
+//! * the `synthesize/join` and `synthesize/merge` spans carry a
+//!   `fields.threads` payload with the configured screening width.
+//!
 //! ## Usage
 //!
 //! ```
@@ -80,6 +97,37 @@ use serde::{Deserialize, Serialize};
 pub mod sinks;
 
 pub use sinks::{CollectingSink, FanoutSink, NullSink, PhaseAggregator, WriterSink};
+
+/// Declarative tracing options for a pipeline run.
+///
+/// Consumed by `parsynt_core::PipelineConfig`: when [`jsonl_path`]
+/// (TraceConfig::jsonl_path) is set, the pipeline opens a [`WriterSink`]
+/// on that file and fans events out to it alongside any
+/// programmatically installed sink. The default config traces nothing
+/// extra (the in-memory [`PhaseAggregator`] always runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    jsonl_path: Option<std::path::PathBuf>,
+}
+
+impl TraceConfig {
+    /// Write every event as one JSON object per line to `path`.
+    pub fn jsonl(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.jsonl_path = Some(path.into());
+        self
+    }
+
+    /// The JSONL output path, if one was configured.
+    pub fn jsonl_path(&self) -> Option<&std::path::Path> {
+        self.jsonl_path.as_deref()
+    }
+
+    /// Whether this config asks for any output beyond the built-in
+    /// phase aggregation.
+    pub fn is_enabled(&self) -> bool {
+        self.jsonl_path.is_some()
+    }
+}
 
 /// A typed scalar payload value attached to an [`Event`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -516,6 +564,19 @@ mod tests {
         let counters = agg.counters();
         assert_eq!(counters["normalize.rule_fired"], 10);
         assert_eq!(counters["synthesize.cegis_round"], 2);
+    }
+
+    #[test]
+    fn trace_config_builder() {
+        let off = TraceConfig::default();
+        assert!(!off.is_enabled());
+        assert_eq!(off.jsonl_path(), None);
+        let on = TraceConfig::default().jsonl("/tmp/trace.jsonl");
+        assert!(on.is_enabled());
+        assert_eq!(
+            on.jsonl_path(),
+            Some(std::path::Path::new("/tmp/trace.jsonl"))
+        );
     }
 
     #[test]

@@ -50,13 +50,22 @@
 //!
 //! # Migrating from 0.1
 //!
-//! The free functions are deprecated shims; each maps onto the builder:
+//! The free functions are deprecated shims (now reachable only through
+//! their modules, e.g. `core::schema::parallelize`); each maps onto the
+//! builder:
 //!
 //! | 0.1 | 0.2 |
 //! |-----|-----|
 //! | `parallelize(&p)?` | `Pipeline::new(&p).run()?.parallelization` |
 //! | `parallelize_with(&p, &profile, &cfg)?` | `Pipeline::new(&p).profile(profile).config(cfg).run()?.parallelization` |
 //! | `check_homomorphism_law(&plan, &profile, n, seed)?` | `report.check_homomorphism(n)?` |
+//! | ad-hoc knobs spread over call sites | one [`PipelineConfig`] (`synth` + `run` + `trace`), `Pipeline::new(&p).configure(cfg)` |
+//!
+//! [`PipelineConfig`] is the single configuration surface of 0.2: what
+//! to synthesize with ([`SynthConfig`], including `with_synth_threads`
+//! for deterministic parallel candidate screening), how
+//! [`core::PipelineReport::execute`] runs the result ([`RunConfig`]),
+//! and what to trace ([`TraceConfig`]).
 
 pub use parsynt_core as core;
 pub use parsynt_lang as lang;
@@ -66,3 +75,6 @@ pub use parsynt_runtime as runtime;
 pub use parsynt_suite as suite;
 pub use parsynt_synth as synth;
 pub use parsynt_trace as trace;
+
+pub use parsynt_core::{Pipeline, PipelineConfig, PipelineReport, RunConfig, TraceConfig};
+pub use parsynt_synth::SynthConfig;

@@ -24,8 +24,10 @@
 //! ```
 //!
 //! Every pipeline-running command also accepts `--json` (emit the
-//! machine-readable `PipelineReport` on stdout instead of prose) and
-//! `--trace <file>` (stream the structured event trace as JSON lines).
+//! machine-readable `PipelineReport` on stdout instead of prose),
+//! `--trace <file>` (stream the structured event trace as JSON lines)
+//! and `--synth-threads N` (parallel candidate screening inside the
+//! synthesis engine; deterministic, 1 = fully sequential).
 
 use parsynt::core::{
     proof_obligations, run_divide_and_conquer, run_map_only, Outcome, Parallelization, Pipeline,
@@ -135,7 +137,11 @@ USAGE:
 
 Observability (parallelize / run / check / bench):
   --json          print the machine-readable PipelineReport on stdout
-  --trace <file>  stream the structured event trace as JSON lines";
+  --trace <file>  stream the structured event trace as JSON lines
+
+Synthesis (parallelize / run / check / bench):
+  --synth-threads N  screen join/merge candidates on N worker threads
+                     (deterministic; 1 = sequential CEGIS, the default)";
 
 /// Flags that consume a value.
 const VALUE_FLAGS: &[&str] = &[
@@ -148,6 +154,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--tests",
     "--trace",
     "--grain",
+    "--synth-threads",
 ];
 /// Boolean switches.
 const SWITCHES: &[&str] = &["--brackets", "--json"];
@@ -243,6 +250,9 @@ fn config_from(cli: &Cli) -> Result<SynthConfig, CliError> {
     let mut cfg = SynthConfig::default();
     if let Some(seed) = cli.parsed::<u64>("--seed")? {
         cfg = cfg.with_seed(seed);
+    }
+    if let Some(threads) = cli.parsed::<usize>("--synth-threads")? {
+        cfg = cfg.with_threads(threads);
     }
     Ok(cfg)
 }

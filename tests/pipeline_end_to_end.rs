@@ -4,7 +4,7 @@
 //! interpreter. (The full 27-benchmark sweep is the `table1` harness
 //! binary — it takes several minutes.)
 
-use parsynt::core::{parallelize_with, run_divide_and_conquer, Outcome};
+use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::parse;
 use parsynt::suite::{benchmark, ExpectedOutcome};
@@ -17,7 +17,12 @@ fn run_benchmark(id: &str) {
     let b = benchmark(id).expect("known benchmark");
     let program = parse(b.source).expect("parses");
     let cfg = SynthConfig::default();
-    let plan = parallelize_with(&program, &b.profile, &cfg).expect("pipeline runs");
+    let plan = Pipeline::new(&program)
+        .profile(b.profile.clone())
+        .config(cfg)
+        .run()
+        .expect("pipeline runs")
+        .parallelization;
 
     parsynt::core::validate_budget(&plan).expect("within the §6 budget");
     match b.expected {
@@ -93,6 +98,6 @@ fn custom_profile_is_respected() {
     )
     .unwrap();
     let profile = InputProfile::default().with_value_range(1, 9);
-    let plan = parallelize_with(&program, &profile, &SynthConfig::default()).unwrap();
-    assert!(plan.is_divide_and_conquer());
+    let report = Pipeline::new(&program).profile(profile).run().unwrap();
+    assert!(report.parallelization.is_divide_and_conquer());
 }

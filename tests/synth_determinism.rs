@@ -1,0 +1,114 @@
+//! Parallel candidate screening must be *observably deterministic*:
+//! the synthesized artifacts at `--synth-threads N` are byte-identical
+//! to the sequential (1-thread) run's on every benchmark. This holds
+//! because a candidate's verdict depends only on the example set, and
+//! the screen's first-verified-solution-wins protocol breaks ties by
+//! minimum generation index — exactly the candidate the sequential
+//! scan would accept.
+
+use parsynt::core::{Outcome, Pipeline};
+use parsynt::lang::parse;
+use parsynt::lang::pretty::program_to_string;
+use parsynt::suite::{all_benchmarks, benchmark, Benchmark};
+use parsynt::synth::report::SynthConfig;
+use parsynt::synth::SynthesizedJoin;
+
+/// Everything about a run that must not depend on the thread count.
+struct Artifacts {
+    outcome: &'static str,
+    join: Option<SynthesizedJoin>,
+    join_text: Option<String>,
+    program_text: String,
+}
+
+fn synthesize(b: &Benchmark, threads: usize) -> Artifacts {
+    let program = parse(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.id));
+    let plan = Pipeline::new(&program)
+        .profile(b.profile.clone())
+        .config(SynthConfig::default().with_threads(threads))
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", b.id))
+        .parallelization;
+    let (outcome, join) = match plan.outcome {
+        Outcome::DivideAndConquer { join, .. } => ("divide_and_conquer", Some(join)),
+        Outcome::MapOnly => ("map_only", None),
+        Outcome::Unparallelizable { .. } => ("unparallelizable", None),
+    };
+    Artifacts {
+        outcome,
+        join_text: join.as_ref().map(|j| j.render(&plan.program)),
+        join,
+        program_text: program_to_string(&plan.program),
+    }
+}
+
+fn assert_deterministic(b: &Benchmark, widths: &[usize]) {
+    let base = synthesize(b, 1);
+    for &threads in widths {
+        let par = synthesize(b, threads);
+        assert_eq!(
+            base.outcome, par.outcome,
+            "{}: outcome changed at {threads} threads",
+            b.id
+        );
+        assert_eq!(
+            base.join, par.join,
+            "{}: synthesized join differs at {threads} threads",
+            b.id
+        );
+        assert_eq!(
+            base.join_text, par.join_text,
+            "{}: rendered join differs at {threads} threads",
+            b.id
+        );
+        assert_eq!(
+            base.program_text, par.program_text,
+            "{}: transformed program differs at {threads} threads",
+            b.id
+        );
+    }
+}
+
+fn check(id: &str, widths: &[usize]) {
+    let b = benchmark(id).expect("known benchmark");
+    assert_deterministic(&b, widths);
+}
+
+#[test]
+fn sum_is_thread_count_invariant() {
+    check("sum", &[2, 4]);
+}
+
+#[test]
+fn min_max_is_thread_count_invariant() {
+    check("min_max", &[2, 4]);
+}
+
+#[test]
+fn max_top_strip_is_thread_count_invariant() {
+    check("max_top_strip", &[2, 4]);
+}
+
+#[test]
+fn max_bottom_strip_is_thread_count_invariant() {
+    check("max_bottom_strip", &[2, 4]);
+}
+
+#[test]
+fn mbbs_is_thread_count_invariant() {
+    check("mbbs", &[4]);
+}
+
+#[test]
+fn max_dist_is_thread_count_invariant() {
+    check("max_dist", &[4]);
+}
+
+#[test]
+#[ignore = "sweeps the full synthesis pipeline over all 27 benchmarks twice (minutes)"]
+fn every_benchmark_is_thread_count_invariant() {
+    for b in all_benchmarks() {
+        assert_deterministic(&b, &[4]);
+        eprintln!("{}: deterministic at 4 threads", b.id);
+    }
+}

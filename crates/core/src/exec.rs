@@ -13,6 +13,53 @@ use parsynt_lang::interp::StateVec;
 use parsynt_lang::Value;
 use parsynt_synth::join::apply_join;
 use parsynt_trace as trace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of a panic-isolated interpreted execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// The final state vector.
+    pub state: StateVec,
+    /// Whether the parallel plan was abandoned and the state recomputed
+    /// by the sequential interpreter.
+    pub degraded: bool,
+    /// Chunks whose first attempt panicked and whose retry succeeded.
+    pub recovered_chunks: usize,
+}
+
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+fn emit_worker_panic(chunk: usize, attempt: u32, payload: &str) {
+    if trace::enabled() {
+        trace::point(
+            "execute",
+            "worker_panic",
+            &[
+                ("chunk", chunk.into()),
+                ("attempt", attempt.into()),
+                ("payload", payload.into()),
+            ],
+        );
+    }
+}
+
+fn emit_fallback(failed_chunks: usize) {
+    if trace::enabled() {
+        trace::point(
+            "execute",
+            "fallback_sequential",
+            &[("failed_chunks", failed_chunks.into())],
+        );
+    }
+}
 
 /// Split `n` items into at most `parts` contiguous non-empty chunks.
 fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
@@ -46,6 +93,24 @@ pub fn run_divide_and_conquer(
     inputs: &[Value],
     threads: usize,
 ) -> Result<StateVec> {
+    run_divide_and_conquer_checked(parallelization, inputs, threads).map(|o| o.state)
+}
+
+/// Panic-isolated variant of [`run_divide_and_conquer`]: a panicking
+/// chunk is caught, retried once on the calling thread, and persistent
+/// failures (including a panicking join) degrade the run to one
+/// sequential pass of the interpreter, reported via
+/// [`ExecOutcome::degraded`].
+///
+/// # Errors
+///
+/// Fails if the parallelization is not divide-and-conquer, on any
+/// interpreter error, or when even the sequential fallback panics.
+pub fn run_divide_and_conquer_checked(
+    parallelization: &Parallelization,
+    inputs: &[Value],
+    threads: usize,
+) -> Result<ExecOutcome> {
     let Outcome::DivideAndConquer { join, vocab } = &parallelization.outcome else {
         return Err(LangError::eval("not a divide-and-conquer parallelization"));
     };
@@ -55,7 +120,11 @@ pub fn run_divide_and_conquer(
         .len()
         .ok_or_else(|| LangError::eval("main input is not a sequence"))?;
     if n == 0 {
-        return f.apply(inputs);
+        return f.apply(inputs).map(|state| ExecOutcome {
+            state,
+            degraded: false,
+            recovered_chunks: 0,
+        });
     }
     let ranges = chunk_ranges(n, threads);
     let mut exec_span = trace::span("execute", "interp_divide_and_conquer");
@@ -63,29 +132,96 @@ pub fn run_divide_and_conquer(
     trace::counter("execute", "chunks", ranges.len() as u64);
     trace::counter("execute", "joins", ranges.len().saturating_sub(1) as u64);
 
-    let partials: Vec<Result<StateVec>> = std::thread::scope(|scope| {
+    // Each worker's panic is caught in the worker itself so the scope
+    // always joins cleanly; interpreter errors pass through untouched.
+    let guarded: Vec<std::result::Result<Result<StateVec>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
                 let f = &f;
-                scope.spawn(move || f.apply_slice(inputs, lo, hi))
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| f.apply_slice(inputs, lo, hi)))
+                        .map_err(|p| payload_string(p.as_ref()))
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(partial) => partial,
+                Err(payload) => Err(payload_string(payload.as_ref())),
+            })
             .collect()
     });
 
-    let mut acc: Option<StateVec> = None;
-    for partial in partials {
-        let partial = partial?;
-        acc = Some(match acc {
-            None => partial,
-            Some(left) => apply_join(program, vocab, join, &left, &partial)?,
-        });
+    let mut recovered = 0usize;
+    let mut partials: Vec<Result<StateVec>> = Vec::with_capacity(guarded.len());
+    let mut failed = 0usize;
+    let mut first_failure: Option<(usize, String)> = None;
+    for (chunk, (result, &(lo, hi))) in guarded.into_iter().zip(&ranges).enumerate() {
+        match result {
+            Ok(partial) => partials.push(partial),
+            Err(payload) => {
+                emit_worker_panic(chunk, 0, &payload);
+                match catch_unwind(AssertUnwindSafe(|| f.apply_slice(inputs, lo, hi))) {
+                    Ok(partial) => {
+                        recovered += 1;
+                        partials.push(partial);
+                    }
+                    Err(p) => {
+                        let payload = payload_string(p.as_ref());
+                        emit_worker_panic(chunk, 1, &payload);
+                        failed += 1;
+                        first_failure.get_or_insert((chunk, payload));
+                    }
+                }
+            }
+        }
     }
-    acc.ok_or_else(|| LangError::eval("empty input"))
+
+    if failed == 0 {
+        // The join runs synthesized code through the interpreter; guard
+        // it like a chunk and degrade on panic.
+        let joined = catch_unwind(AssertUnwindSafe(|| -> Result<StateVec> {
+            let mut acc: Option<StateVec> = None;
+            for partial in partials {
+                let partial = partial?;
+                acc = Some(match acc {
+                    None => partial,
+                    Some(left) => apply_join(program, vocab, join, &left, &partial)?,
+                });
+            }
+            acc.ok_or_else(|| LangError::eval("empty input"))
+        }));
+        match joined {
+            Ok(state) => {
+                return state.map(|state| ExecOutcome {
+                    state,
+                    degraded: false,
+                    recovered_chunks: recovered,
+                })
+            }
+            Err(p) => {
+                emit_worker_panic(0, 1, &payload_string(p.as_ref()));
+            }
+        }
+    }
+
+    emit_fallback(failed);
+    match catch_unwind(AssertUnwindSafe(|| f.apply(inputs))) {
+        Ok(state) => state.map(|state| ExecOutcome {
+            state,
+            degraded: true,
+            recovered_chunks: recovered,
+        }),
+        Err(p) => {
+            let (chunk, _) = first_failure.unwrap_or((0, String::new()));
+            Err(LangError::eval(format!(
+                "worker panicked on chunk {chunk}: {}",
+                payload_string(p.as_ref())
+            )))
+        }
+    }
 }
 
 /// Execute a map-only parallelization: all instances of the inner loop
@@ -101,6 +237,22 @@ pub fn run_map_only(
     inputs: &[Value],
     threads: usize,
 ) -> Result<StateVec> {
+    run_map_only_checked(parallelization, inputs, threads).map(|o| o.state)
+}
+
+/// Panic-isolated variant of [`run_map_only`]: recovery mirrors
+/// [`run_divide_and_conquer_checked`] — retry a panicking map chunk
+/// once, then degrade to one sequential pass of the interpreter.
+///
+/// # Errors
+///
+/// Fails on interpreter errors, on non-memoryless programs, or when
+/// even the sequential fallback panics.
+pub fn run_map_only_checked(
+    parallelization: &Parallelization,
+    inputs: &[Value],
+    threads: usize,
+) -> Result<ExecOutcome> {
     let program = &parallelization.program;
     // The map phase runs every inner nest from the zero state; that is
     // only sound for (transformed) memoryless programs.
@@ -115,44 +267,114 @@ pub fn run_map_only(
         .len()
         .ok_or_else(|| LangError::eval("main input is not a sequence"))?;
     if n == 0 {
-        return f.apply(inputs);
+        return f.apply(inputs).map(|state| ExecOutcome {
+            state,
+            degraded: false,
+            recovered_chunks: 0,
+        });
     }
     let ranges = chunk_ranges(n, threads);
     let mut exec_span = trace::span("execute", "interp_map_only");
     exec_span.record("threads", threads);
     trace::counter("execute", "chunks", ranges.len() as u64);
 
-    // Parallel map: compute 𝒢(0̸)(δ_i) for every row.
-    let inner_results: Vec<Result<Vec<parsynt_lang::functional::InnerResult>>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(lo, hi)| {
-                    let f = &f;
-                    scope.spawn(move || {
-                        (lo..hi)
-                            .map(|i| f.inner_phase_from_zero(inputs, i))
-                            .collect::<Result<Vec<_>>>()
-                    })
+    // Parallel map: compute 𝒢(0̸)(δ_i) for every row, panics caught in
+    // the worker so the scope always joins cleanly.
+    type InnerBlock = Result<Vec<parsynt_lang::functional::InnerResult>>;
+    let map_chunk = |lo: usize, hi: usize| -> InnerBlock {
+        (lo..hi)
+            .map(|i| f.inner_phase_from_zero(inputs, i))
+            .collect()
+    };
+    let guarded: Vec<std::result::Result<InnerBlock, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let map_chunk = &map_chunk;
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| map_chunk(lo, hi)))
+                        .map_err(|p| payload_string(p.as_ref()))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(block) => block,
+                Err(payload) => Err(payload_string(payload.as_ref())),
+            })
+            .collect()
+    });
 
-    // Sequential fold of the outer phase over the precomputed results.
-    let env = parsynt_lang::interp::init_env(program, inputs)?;
-    let mut state = parsynt_lang::interp::read_state(program, &env)?;
-    let mut i = 0usize;
-    for chunk in inner_results {
-        for inner in chunk? {
-            state = f.outer_phase_from(inputs, i, &state, &inner)?;
-            i += 1;
+    let mut recovered = 0usize;
+    let mut blocks: Vec<InnerBlock> = Vec::with_capacity(guarded.len());
+    let mut failed = 0usize;
+    let mut first_failure: Option<(usize, String)> = None;
+    for (chunk, (result, &(lo, hi))) in guarded.into_iter().zip(&ranges).enumerate() {
+        match result {
+            Ok(block) => blocks.push(block),
+            Err(payload) => {
+                emit_worker_panic(chunk, 0, &payload);
+                match catch_unwind(AssertUnwindSafe(|| map_chunk(lo, hi))) {
+                    Ok(block) => {
+                        recovered += 1;
+                        blocks.push(block);
+                    }
+                    Err(p) => {
+                        let payload = payload_string(p.as_ref());
+                        emit_worker_panic(chunk, 1, &payload);
+                        failed += 1;
+                        first_failure.get_or_insert((chunk, payload));
+                    }
+                }
+            }
         }
     }
-    Ok(state)
+
+    if failed == 0 {
+        // Sequential fold of the outer phase over the precomputed
+        // results, guarded like a chunk.
+        let folded = catch_unwind(AssertUnwindSafe(|| -> Result<StateVec> {
+            let env = parsynt_lang::interp::init_env(program, inputs)?;
+            let mut state = parsynt_lang::interp::read_state(program, &env)?;
+            let mut i = 0usize;
+            for chunk in blocks {
+                for inner in chunk? {
+                    state = f.outer_phase_from(inputs, i, &state, &inner)?;
+                    i += 1;
+                }
+            }
+            Ok(state)
+        }));
+        match folded {
+            Ok(state) => {
+                return state.map(|state| ExecOutcome {
+                    state,
+                    degraded: false,
+                    recovered_chunks: recovered,
+                })
+            }
+            Err(p) => {
+                emit_worker_panic(0, 1, &payload_string(p.as_ref()));
+            }
+        }
+    }
+
+    emit_fallback(failed);
+    match catch_unwind(AssertUnwindSafe(|| f.apply(inputs))) {
+        Ok(state) => state.map(|state| ExecOutcome {
+            state,
+            degraded: true,
+            recovered_chunks: recovered,
+        }),
+        Err(p) => {
+            let (chunk, _) = first_failure.unwrap_or((0, String::new()));
+            Err(LangError::eval(format!(
+                "worker panicked on chunk {chunk}: {}",
+                payload_string(p.as_ref())
+            )))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! assert!(report.phase_timings.contains_key("total"));
 //! ```
 
-use crate::exec::{run_divide_and_conquer, run_map_only};
+use crate::exec::{run_divide_and_conquer_checked, run_map_only_checked};
 use crate::proof::homomorphism_law_checks;
 use crate::schema::{run_schema, Outcome, Parallelization, Report};
 use parsynt_lang::ast::Program;
@@ -142,6 +142,21 @@ impl PipelineConfig {
         self.synth = self.synth.with_seed(seed);
         self
     }
+
+    /// Bound the synthesis search with a [`parsynt_trace::Deadline`];
+    /// when it expires the run reports `Unparallelizable` with a
+    /// `deadline exceeded` reason instead of searching further.
+    pub fn with_deadline(mut self, deadline: parsynt_trace::Deadline) -> Self {
+        self.synth = self.synth.with_deadline(deadline);
+        self
+    }
+
+    /// Shorthand for [`PipelineConfig::with_deadline`] with a deadline
+    /// of `ms` milliseconds from now.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.synth = self.synth.with_timeout_ms(ms);
+        self
+    }
 }
 
 /// Builder for one observable schema run over a borrowed program.
@@ -256,6 +271,7 @@ impl<'p> Pipeline<'p> {
             parallelization,
             phase_timings,
             counters: aggregator.counters(),
+            degraded: false,
             profile: self.profile,
             seed: cfg.seed,
             run,
@@ -277,6 +293,10 @@ pub struct PipelineReport {
     /// Event counters keyed `"phase.name"` (e.g.
     /// `"synthesize.cegis_round"`, `"normalize.rule_fired"`).
     pub counters: BTreeMap<String, u64>,
+    /// Whether any [`PipelineReport::execute`] call on this report had
+    /// to abandon its parallel plan and recover through the sequential
+    /// interpreter (after a persistent worker panic).
+    pub degraded: bool,
     profile: InputProfile,
     seed: u64,
     run: RunConfig,
@@ -308,20 +328,31 @@ impl PipelineReport {
     /// run chunked with the synthesized join, map-only plans run the
     /// parallel map plus sequential fold.
     ///
+    /// Worker panics are isolated: a panicking chunk is retried once,
+    /// and persistent failures re-execute sequentially — in that case
+    /// [`PipelineReport::degraded`] is set and a `fallback_sequential`
+    /// trace event is emitted.
+    ///
     /// # Errors
     ///
-    /// Fails if the outcome is unparallelizable, or on any interpreter
-    /// error.
-    pub fn execute(&self, inputs: &[Value]) -> Result<StateVec> {
-        match &self.parallelization.outcome {
+    /// Fails if the outcome is unparallelizable, on any interpreter
+    /// error, or when even the sequential fallback panics.
+    pub fn execute(&mut self, inputs: &[Value]) -> Result<StateVec> {
+        let outcome = match &self.parallelization.outcome {
             Outcome::DivideAndConquer { .. } => {
-                run_divide_and_conquer(&self.parallelization, inputs, self.run.threads)
+                run_divide_and_conquer_checked(&self.parallelization, inputs, self.run.threads)?
             }
-            Outcome::MapOnly => run_map_only(&self.parallelization, inputs, self.run.threads),
-            Outcome::Unparallelizable { reason } => Err(LangError::eval(format!(
-                "cannot execute an unparallelizable plan ({reason})"
-            ))),
-        }
+            Outcome::MapOnly => {
+                run_map_only_checked(&self.parallelization, inputs, self.run.threads)?
+            }
+            Outcome::Unparallelizable { reason } => {
+                return Err(LangError::eval(format!(
+                    "cannot execute an unparallelizable plan ({reason})"
+                )))
+            }
+        };
+        self.degraded |= outcome.degraded;
+        Ok(outcome.state)
     }
 
     /// Re-check the homomorphism law `h(x • y) = h(x) ⊙ h(y)` on
@@ -353,6 +384,8 @@ impl PipelineReport {
             aux_homomorphism: report.aux_homomorphism.clone(),
             already_memoryless: report.already_memoryless,
             looped_join: report.looped_join,
+            deadline_exceeded: report.deadline_exceeded,
+            degraded: self.degraded,
             seed: self.seed,
             phase_timings: self
                 .phase_timings
@@ -401,6 +434,13 @@ pub struct PipelineReportJson {
     pub already_memoryless: bool,
     /// Whether the synthesized join contains a loop.
     pub looped_join: bool,
+    /// Whether the synthesis search was cut short by its deadline.
+    #[serde(default)]
+    pub deadline_exceeded: bool,
+    /// Whether an execution of this plan degraded to the sequential
+    /// fallback after a persistent worker panic.
+    #[serde(default)]
+    pub degraded: bool,
     /// RNG seed the run used.
     pub seed: u64,
     /// Per-phase wall clock, in seconds.
@@ -495,7 +535,7 @@ mod tests {
     #[test]
     fn configured_pipeline_executes_its_plan() {
         let p = sum2d();
-        let report = Pipeline::new(&p)
+        let mut report = Pipeline::new(&p)
             .configure(PipelineConfig::default().with_run_threads(3))
             .run()
             .unwrap();

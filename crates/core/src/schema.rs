@@ -60,6 +60,10 @@ pub struct Report {
     pub already_memoryless: bool,
     /// Whether the synthesized join contains a loop.
     pub looped_join: bool,
+    /// Whether the run was cut short by the synthesis deadline. When
+    /// set, the other fields describe the partial work done before the
+    /// budget ran out.
+    pub deadline_exceeded: bool,
 }
 
 impl Report {
@@ -131,6 +135,21 @@ pub fn parallelize_with(
     run_schema(program, profile, cfg)
 }
 
+/// Record a deadline exhaustion as a trace point and build the
+/// human-readable `Unparallelizable` reason for it.
+fn emit_deadline_exceeded(candidates: usize) -> String {
+    let reason = format!("deadline exceeded after {candidates} candidates");
+    trace::point(
+        "schema",
+        "deadline_exceeded",
+        &[
+            ("reason", reason.as_str().into()),
+            ("candidates", candidates.into()),
+        ],
+    );
+    reason
+}
+
 /// Emit the final schema outcome as a trace point (one per run).
 fn emit_outcome(outcome: &Outcome) {
     if trace::enabled() {
@@ -166,14 +185,17 @@ pub(crate) fn run_schema(
             loop_depth: n,
             summarized_depth: analysis.summarized_depth,
             summarization_time: memoryless.summarization_time,
+            deadline_exceeded: memoryless.timed_out,
             ..Report::default()
+        };
+        let reason = if memoryless.timed_out {
+            emit_deadline_exceeded(memoryless.candidates)
+        } else {
+            "no memoryless lift found (only the default lift of Prop. 5.4 applies)".to_owned()
         };
         let out = Parallelization {
             program: program.clone(),
-            outcome: Outcome::Unparallelizable {
-                reason: "no memoryless lift found (only the default lift of Prop. 5.4 applies)"
-                    .to_owned(),
-            },
+            outcome: Outcome::Unparallelizable { reason },
             report,
         };
         emit_outcome(&out.outcome);
@@ -214,6 +236,7 @@ pub(crate) fn run_schema(
                 aux_homomorphism: aux,
                 already_memoryless: memoryless.already_memoryless,
                 looped_join,
+                deadline_exceeded: false,
             };
             let out = Parallelization {
                 program: lifted,
@@ -226,6 +249,8 @@ pub(crate) fn run_schema(
         HomLiftOutcome::Failure {
             join_time,
             failed_var,
+            timed_out,
+            candidates,
         } => {
             let report = Report {
                 loop_depth: n,
@@ -234,12 +259,24 @@ pub(crate) fn run_schema(
                 join_time,
                 aux_memoryless: memoryless.aux_added.clone(),
                 already_memoryless: memoryless.already_memoryless,
+                deadline_exceeded: timed_out,
                 ..Report::default()
             };
-            // n > k: the inner nest still parallelizes as a map
-            // (Prop. 4.3); otherwise summarization bought nothing and the
-            // parallelization fails (§6.2).
-            let out = if n > k {
+            // A deadline exhaustion is not evidence the loop resists
+            // parallelization — report it distinctly (with the partial
+            // report) rather than claiming map-only is the best possible.
+            let out = if timed_out {
+                Parallelization {
+                    program: summarized,
+                    outcome: Outcome::Unparallelizable {
+                        reason: emit_deadline_exceeded(memoryless.candidates + candidates),
+                    },
+                    report,
+                }
+            } else if n > k {
+                // n > k: the inner nest still parallelizes as a map
+                // (Prop. 4.3); otherwise summarization bought nothing and
+                // the parallelization fails (§6.2).
                 Parallelization {
                     program: summarized,
                     outcome: Outcome::MapOnly,

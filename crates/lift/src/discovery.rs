@@ -21,6 +21,7 @@ use parsynt_rewrite::normal_form::{classify, flatten, Purity};
 use parsynt_rewrite::normalize::Normalizer;
 use parsynt_rewrite::symbolic::{sym_exec_all, SymEnv, SymVal};
 use parsynt_trace as trace;
+use parsynt_trace::Deadline;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -78,6 +79,12 @@ fn is_int_expr(e: &Expr) -> bool {
 
 /// Run aux discovery on a (memoryless) program.
 pub fn discover(program: &Program) -> Discovery {
+    discover_with_deadline(program, &Deadline::none())
+}
+
+/// Run aux discovery under a wall-clock budget: normalization stops
+/// expanding once `deadline` expires and per-variable work is skipped.
+pub fn discover_with_deadline(program: &Program, deadline: &Deadline) -> Discovery {
     let start = Instant::now();
     let mut discovery_span = trace::span("lift", "discovery");
     let mut specs = Vec::new();
@@ -88,8 +95,11 @@ pub fn discover(program: &Program) -> Discovery {
             move |s: Sym| leaves.contains(&s)
         };
         let cost = Phase1Cost::new(is_state.clone());
-        let normalizer = Normalizer::new();
+        let normalizer = Normalizer::new().with_deadline(deadline.clone());
         for (sym, (expr2, leaves2)) in &u2_map {
+            if deadline.is_expired() {
+                break;
+            }
             let norm2 = normalizer.run(expr2, &cost).best;
             let mut inputs_only = Vec::new();
             maximal_input_only(&norm2, &is_state, &mut inputs_only);

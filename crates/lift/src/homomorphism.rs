@@ -20,7 +20,7 @@ use crate::augment::{
     add_state_var, append_to_outer_body, insert_after_assignments, remove_assignments,
     remove_state_var,
 };
-use crate::discovery::{discover, AuxSpec};
+use crate::discovery::{discover_with_deadline, AuxSpec};
 use parsynt_lang::analysis::analyze;
 use parsynt_lang::ast::{BinOp, Expr, LValue, Program, Stmt, Sym};
 use parsynt_lang::error::{LangError, Result};
@@ -65,6 +65,11 @@ pub enum HomLiftOutcome {
         join_time: Duration,
         /// The state variable that resisted synthesis in the last round.
         failed_var: Option<String>,
+        /// Whether the failure was caused by the synthesis deadline
+        /// expiring rather than search-space exhaustion.
+        timed_out: bool,
+        /// Total candidates screened across all rounds before giving up.
+        candidates: usize,
     },
 }
 
@@ -92,8 +97,19 @@ pub fn homomorphism_lift(
     let mut current = program.clone();
     let mut added: Vec<Sym> = Vec::new();
     let mut last_failed: Option<String> = None;
+    let mut candidates = 0usize;
 
     for round in 0..4 {
+        if cfg.deadline.is_expired() {
+            phase_span.record("failed", true);
+            phase_span.record("timed_out", true);
+            return Ok(HomLiftOutcome::Failure {
+                join_time,
+                failed_var: last_failed,
+                timed_out: true,
+                candidates,
+            });
+        }
         trace::point(
             "lift",
             "round",
@@ -102,6 +118,7 @@ pub fn homomorphism_lift(
         let mut attempt = current.clone();
         let (result, vocab) = synthesize_join(&mut attempt, profile, cfg)?;
         join_time += result.elapsed;
+        candidates += result.stats.iter().map(|s| s.tries).sum::<usize>();
         if let Some(join) = result.join {
             let (pruned_program, pruned_join, pruned_vocab, kept) =
                 prune_dead_aux(&attempt, &join, &vocab, &added, profile, cfg)?;
@@ -118,11 +135,23 @@ pub fn homomorphism_lift(
             });
         }
         last_failed = result.failed_var;
+        if result.timed_out {
+            // The deadline expired mid-synthesis; lifting further rounds
+            // would only time out again.
+            phase_span.record("failed", true);
+            phase_span.record("timed_out", true);
+            return Ok(HomLiftOutcome::Failure {
+                join_time,
+                failed_var: last_failed,
+                timed_out: true,
+                candidates,
+            });
+        }
 
         // Lift and retry.
         let (new_aux, source) = match round {
             0 => {
-                let found = discover(&current);
+                let found = discover_with_deadline(&current, &cfg.deadline);
                 lift_time += found.elapsed;
                 (add_discovered(&mut current, &found.specs)?, "discovery")
             }
@@ -149,6 +178,8 @@ pub fn homomorphism_lift(
     Ok(HomLiftOutcome::Failure {
         join_time,
         failed_var: last_failed,
+        timed_out: cfg.deadline.is_expired(),
+        candidates,
     })
 }
 

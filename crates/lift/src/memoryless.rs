@@ -44,6 +44,11 @@ pub struct MemorylessOutcome {
     /// Whether the memoryless lift failed and the *default* lift of
     /// Prop. 5.4 would be required (the inner nest stays sequential).
     pub failed: bool,
+    /// Whether a failure was caused by the synthesis deadline expiring
+    /// rather than exhausting the lift catalog.
+    pub timed_out: bool,
+    /// Total candidates screened across all merge-synthesis rounds.
+    pub candidates: usize,
 }
 
 /// Run the memoryless phase on `program`.
@@ -67,17 +72,21 @@ pub fn memoryless_lift(
             summarization_time: Duration::ZERO,
             already_memoryless: true,
             failed: false,
+            timed_out: false,
+            candidates: 0,
         });
     }
 
     let mut total = Duration::ZERO;
     let mut aux_added: Vec<String> = Vec::new();
+    let mut candidates = 0usize;
 
     // Round 0: direct merge synthesis on the original program.
     trace::point("summarize", "merge_attempt", &[("batch", "none".into())]);
     let mut attempt = program.clone();
     let (result, vocab) = synthesize_merge(&mut attempt, profile, cfg)?;
     total += result.elapsed;
+    candidates += result.stats.iter().map(|s| s.tries).sum::<usize>();
     if let Some(merge) = result.merge {
         let transformed = memoryless_transform(&attempt, &vocab, &merge)?;
         cross_check(program, &transformed, profile, cfg)?;
@@ -87,12 +96,40 @@ pub fn memoryless_lift(
             summarization_time: total,
             already_memoryless: false,
             failed: false,
+            timed_out: false,
+            candidates,
+        });
+    }
+    if result.timed_out {
+        phase_span.record("failed", true);
+        phase_span.record("timed_out", true);
+        return Ok(MemorylessOutcome {
+            program: program.clone(),
+            aux_added: Vec::new(),
+            summarization_time: total,
+            already_memoryless: false,
+            failed: true,
+            timed_out: true,
+            candidates,
         });
     }
 
     // Lift rounds: add running min/max accumulators over inner scalar
     // accumulators, one batch at a time, and retry.
     for batch in [AuxBatch::Min, AuxBatch::Max, AuxBatch::MinAndMax] {
+        if cfg.deadline.is_expired() {
+            phase_span.record("failed", true);
+            phase_span.record("timed_out", true);
+            return Ok(MemorylessOutcome {
+                program: program.clone(),
+                aux_added: Vec::new(),
+                summarization_time: total,
+                already_memoryless: false,
+                failed: true,
+                timed_out: true,
+                candidates,
+            });
+        }
         let mut lifted = program.clone();
         let added = add_inner_extrema(&mut lifted, batch)?;
         if added.is_empty() {
@@ -109,6 +146,7 @@ pub fn memoryless_lift(
         let mut attempt = lifted.clone();
         let (result, vocab) = synthesize_merge(&mut attempt, profile, cfg)?;
         total += result.elapsed;
+        candidates += result.stats.iter().map(|s| s.tries).sum::<usize>();
         if let Some(merge) = result.merge {
             aux_added = added;
             for name in &aux_added {
@@ -130,7 +168,12 @@ pub fn memoryless_lift(
                 summarization_time: total,
                 already_memoryless: false,
                 failed: false,
+                timed_out: false,
+                candidates,
             });
+        }
+        if result.timed_out {
+            break;
         }
     }
 
@@ -144,6 +187,8 @@ pub fn memoryless_lift(
         summarization_time: total,
         already_memoryless: false,
         failed: true,
+        timed_out: cfg.deadline.is_expired(),
+        candidates,
     })
 }
 

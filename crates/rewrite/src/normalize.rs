@@ -9,6 +9,7 @@ use crate::cost::Cost;
 use crate::rules::{constant_fold, single_step_rewrites_counted, Rule};
 use parsynt_lang::ast::Expr;
 use parsynt_trace as trace;
+use parsynt_trace::Deadline;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -34,6 +35,9 @@ pub struct Normalizer {
     pub max_expansions: usize,
     /// Expressions larger than this are not enqueued.
     pub max_expr_size: usize,
+    /// Wall-clock budget; the best-first loop stops expanding once it
+    /// expires and returns the best expression found so far.
+    pub deadline: Deadline,
 }
 
 impl Default for Normalizer {
@@ -42,6 +46,7 @@ impl Default for Normalizer {
             rules: crate::rules::all_rules().to_vec(),
             max_expansions: 3000,
             max_expr_size: 300,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -55,6 +60,12 @@ impl Normalizer {
     /// Override the search budget.
     pub fn with_max_expansions(mut self, n: usize) -> Self {
         self.max_expansions = n;
+        self
+    }
+
+    /// Bound the search by a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -80,7 +91,7 @@ impl Normalizer {
 
         let mut expansions = 0usize;
         while let Some(Reverse((c, id))) = heap.pop() {
-            if expansions >= self.max_expansions {
+            if expansions >= self.max_expansions || self.deadline.is_expired() {
                 break;
             }
             expansions += 1;

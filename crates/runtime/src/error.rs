@@ -1,0 +1,34 @@
+//! Typed runtime failures.
+
+use std::fmt;
+
+/// A failure surfaced by the panic-isolated executors.
+///
+/// Worker panics are caught per chunk ([`std::panic::catch_unwind`]),
+/// retried once, and only become an error when the sequential fallback
+/// itself panics — so observing this error means the *task* is broken,
+/// not the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A worker panicked while computing `chunk` and the failure
+    /// persisted through retry and the sequential fallback.
+    WorkerPanicked {
+        /// Index of the chunk whose computation panicked.
+        chunk: usize,
+        /// Stringified panic payload (`"<non-string panic>"` when the
+        /// payload was not a string).
+        payload: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::WorkerPanicked { chunk, payload } => {
+                write!(f, "worker panicked on chunk {chunk}: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,10 +1,97 @@
 //! The parallel executors: work-stealing and static scheduling.
+//!
+//! All chunk and join work runs panic-isolated: a panicking worker is
+//! caught ([`std::panic::catch_unwind`]), its chunk retried once on the
+//! calling thread, and if the retry fails too the whole plan degrades to
+//! a sequential re-execution — reported via [`RunOutcome::degraded`] by
+//! the `try_*` entry points. The classic `run_*` entry points keep their
+//! infallible signatures on top of the same machinery.
 
+use crate::error::RuntimeError;
 use crate::task::{DncTask, MapOnlyTask};
 use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use parsynt_trace as trace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Fault-injection argument threaded through the executors: a real
+/// [`crate::faults::FaultPlan`] under the `fault-inject` feature, an
+/// uninhabited placeholder otherwise so release builds compile every
+/// injection site away.
+#[cfg(feature = "fault-inject")]
+type FaultArg<'a> = Option<&'a crate::faults::FaultPlan>;
+#[cfg(not(feature = "fault-inject"))]
+type FaultArg<'a> = Option<&'a std::convert::Infallible>;
+
+#[cfg(feature = "fault-inject")]
+#[inline]
+fn inject(faults: FaultArg<'_>, chunk: usize, attempt: u32) -> bool {
+    faults.is_some_and(|plan| plan.apply(chunk, attempt))
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline]
+fn inject(_faults: FaultArg<'_>, _chunk: usize, _attempt: u32) -> bool {
+    false
+}
+
+/// Render a panic payload for trace events and [`RuntimeError`]s.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+fn emit_worker_panic(chunk: usize, attempt: u32, payload: &str) {
+    if trace::enabled() {
+        trace::point(
+            "execute",
+            "worker_panic",
+            &[
+                ("chunk", chunk.into()),
+                ("attempt", attempt.into()),
+                ("payload", payload.into()),
+            ],
+        );
+    }
+}
+
+/// The result of a panic-isolated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome<A> {
+    /// The computed accumulator.
+    pub value: A,
+    /// Whether the parallel plan was abandoned and the value computed by
+    /// the sequential fallback instead.
+    pub degraded: bool,
+    /// Chunks whose first attempt panicked (or was poisoned) and whose
+    /// retry succeeded.
+    pub recovered_chunks: usize,
+}
+
+/// Run one chunk with panic isolation (and, under `fault-inject`, the
+/// scheduled fault for this `(chunk, attempt)` site applied).
+fn work_guarded<T: DncTask>(
+    task: &T,
+    slice: &[T::Item],
+    chunk: usize,
+    attempt: u32,
+    faults: FaultArg<'_>,
+) -> Result<T::Acc, String> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        let poisoned = inject(faults, chunk, attempt);
+        (poisoned, task.work(slice))
+    })) {
+        Ok((false, acc)) => Ok(acc),
+        Ok((true, _)) => Err(format!("injected fault: poisoned result at chunk {chunk}")),
+        Err(payload) => Err(payload_string(payload.as_ref())),
+    }
+}
 
 /// Scheduling backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,56 +175,202 @@ pub fn run_sequential<T: DncTask>(task: &T, data: &[T::Item]) -> T::Acc {
 ///
 /// Equivalent to `task.work(data)` whenever the join satisfies the
 /// homomorphism law; chunk results are always joined in input order, so
-/// non-commutative joins are safe.
+/// non-commutative joins are safe. A worker panic is retried once and
+/// then recovered by sequential re-execution; this wrapper only panics
+/// when the sequential fallback itself panics (i.e. the task is broken).
 pub fn run_parallel<T: DncTask>(task: &T, data: &[T::Item], config: RunConfig) -> T::Acc {
-    let threads = config.threads.max(1);
-    // `RunConfig::with_grain` clamps, but the struct is constructible
-    // literally; a zero grain must never reach the chunk math.
-    let grain = config.grain.max(1);
-    if threads == 1 || data.len() <= grain {
-        return task.work(data);
-    }
-    let mut exec_span = trace::span("execute", "run_parallel");
-    if exec_span.is_enabled() {
-        exec_span.record("threads", threads);
-        exec_span.record("grain", grain);
-        exec_span.record(
-            "backend",
-            match config.backend {
-                Backend::WorkStealing => "work_stealing",
-                Backend::Static => "static",
-            },
-        );
-        exec_span.record("items", data.len());
-    }
-    match config.backend {
-        Backend::Static => run_static(task, data, threads),
-        Backend::WorkStealing => run_stealing(task, data, threads, grain),
+    match try_run_parallel(task, data, config) {
+        Ok(outcome) => outcome.value,
+        Err(e) => panic!("{e}"),
     }
 }
 
-/// Static scheduling: exactly one contiguous chunk per thread, results
-/// joined in order.
-fn run_static<T: DncTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
+/// Panic-isolated variant of [`run_parallel`], reporting retries and
+/// sequential degradation through [`RunOutcome`].
+pub fn try_run_parallel<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    config: RunConfig,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    try_run_parallel_impl(task, data, config, None)
+}
+
+/// [`try_run_parallel`] with a deterministic fault schedule applied to
+/// every chunk attempt — the entry point of the fault-injection harness.
+#[cfg(feature = "fault-inject")]
+pub fn run_parallel_with_faults<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    config: RunConfig,
+    plan: &crate::faults::FaultPlan,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    try_run_parallel_impl(task, data, config, Some(plan))
+}
+
+fn try_run_parallel_impl<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    config: RunConfig,
+    faults: FaultArg<'_>,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    let threads = config.threads.max(1);
     let n = data.len();
-    let parts = threads.min(n).max(1);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut ranges = Vec::with_capacity(parts);
-    let mut lo = 0usize;
-    for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        ranges.push((lo, lo + len));
-        lo += len;
+    // `RunConfig::with_grain` clamps, but the struct is constructible
+    // literally; a zero grain must never reach the chunk math.
+    let grain = config.grain.max(1);
+    // `chunk_grain` is the stride chunks were actually cut at, so a
+    // failed chunk can be re-sliced for retry.
+    let (partials, chunk_grain): (Vec<Result<T::Acc, String>>, usize) = if threads == 1
+        || n <= grain
+    {
+        // Sequential short-circuit: one chunk on the calling thread,
+        // no span or counters (matching pre-isolation observability).
+        (vec![work_guarded(task, data, 0, 0, faults)], n.max(1))
+    } else {
+        let mut exec_span = trace::span("execute", "run_parallel");
+        if exec_span.is_enabled() {
+            exec_span.record("threads", threads);
+            exec_span.record("grain", grain);
+            exec_span.record(
+                "backend",
+                match config.backend {
+                    Backend::WorkStealing => "work_stealing",
+                    Backend::Static => "static",
+                },
+            );
+            exec_span.record("items", data.len());
+        }
+        match config.backend {
+            Backend::Static => {
+                // One contiguous chunk per thread, grain-aligned.
+                let static_grain = n.div_ceil(threads.min(n)).max(1);
+                (
+                    static_partials(task, data, static_grain, faults),
+                    static_grain,
+                )
+            }
+            Backend::WorkStealing => (stealing_partials(task, data, threads, grain, faults), grain),
+        }
+    };
+    finish_partials(task, data, partials, chunk_grain, faults)
+}
+
+/// Retry failed chunks once on the calling thread, reduce the partials
+/// in order, and degrade to sequential re-execution when anything still
+/// fails (including a panicking join).
+fn finish_partials<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    partials: Vec<Result<T::Acc, String>>,
+    grain: usize,
+    faults: FaultArg<'_>,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    let n = data.len();
+    let num_chunks = partials.len();
+    let mut recovered = 0usize;
+    let mut failed: Vec<usize> = Vec::new();
+    let mut accs: Vec<Option<T::Acc>> = Vec::with_capacity(num_chunks);
+    for (chunk, partial) in partials.into_iter().enumerate() {
+        match partial {
+            Ok(acc) => accs.push(Some(acc)),
+            Err(payload) => {
+                emit_worker_panic(chunk, 0, &payload);
+                // Recompute this chunk's slice: a single-chunk run covers
+                // all of `data`, otherwise chunks are grain-sized.
+                let (lo, hi) = if num_chunks == 1 {
+                    (0, n)
+                } else {
+                    (chunk * grain, (chunk * grain + grain).min(n))
+                };
+                match work_guarded(task, &data[lo..hi], chunk, 1, faults) {
+                    Ok(acc) => {
+                        recovered += 1;
+                        accs.push(Some(acc));
+                    }
+                    Err(payload) => {
+                        emit_worker_panic(chunk, 1, &payload);
+                        failed.push(chunk);
+                        accs.push(None);
+                    }
+                }
+            }
+        }
     }
-    let partials: Vec<T::Acc> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| scope.spawn(move || task.work(&data[lo..hi])))
+    if failed.is_empty() {
+        // The join can panic too (it is synthesized code): guard the
+        // ordered reduction and fall back like a failed chunk.
+        let reduced = catch_unwind(AssertUnwindSafe(|| {
+            accs.into_iter()
+                .flatten()
+                .reduce(|l, r| task.join(l, r))
+                .unwrap_or_else(|| task.identity())
+        }));
+        if let Ok(value) = reduced {
+            return Ok(RunOutcome {
+                value,
+                degraded: false,
+                recovered_chunks: recovered,
+            });
+        }
+    }
+    fallback_sequential(task, data, &failed, recovered)
+}
+
+/// Last-resort recovery: re-run the whole input sequentially on the
+/// calling thread. Faults are never injected here — the harness tests
+/// recovery of the *parallel* plan, and a broken task panics on its own.
+fn fallback_sequential<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    failed: &[usize],
+    recovered: usize,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    if trace::enabled() {
+        trace::point(
+            "execute",
+            "fallback_sequential",
+            &[("failed_chunks", failed.len().into())],
+        );
+    }
+    match catch_unwind(AssertUnwindSafe(|| task.work(data))) {
+        Ok(value) => Ok(RunOutcome {
+            value,
+            degraded: true,
+            recovered_chunks: recovered,
+        }),
+        Err(payload) => Err(RuntimeError::WorkerPanicked {
+            chunk: failed.first().copied().unwrap_or(0),
+            payload: payload_string(payload.as_ref()),
+        }),
+    }
+}
+
+/// Static scheduling: one contiguous grain-sized chunk per thread (the
+/// caller picks `grain = ⌈n / threads⌉`), results collected in order.
+fn static_partials<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    grain: usize,
+    faults: FaultArg<'_>,
+) -> Vec<Result<T::Acc, String>> {
+    let n = data.len();
+    let num_chunks = n.div_ceil(grain);
+    let partials: Vec<Result<T::Acc, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_chunks)
+            .map(|chunk| {
+                let lo = chunk * grain;
+                let hi = (lo + grain).min(n);
+                scope.spawn(move || work_guarded(task, &data[lo..hi], chunk, 0, faults))
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(partial) => partial,
+                // `work_guarded` already catches task panics; reaching
+                // here means the runtime itself failed.
+                Err(payload) => Err(payload_string(payload.as_ref())),
+            })
             .collect()
     });
     if trace::enabled() {
@@ -145,21 +378,25 @@ fn run_static<T: DncTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc 
         trace::counter("execute", "joins", partials.len().saturating_sub(1) as u64);
     }
     partials
-        .into_iter()
-        .reduce(|l, r| task.join(l, r))
-        .unwrap_or_else(|| task.identity())
 }
 
 /// Work-stealing execution: the input is cut into grain-sized tasks,
 /// dealt round-robin onto per-worker deques; idle workers steal. Each
 /// chunk's result lands in an index-ordered slot so the final reduction
-/// preserves input order.
-fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: usize) -> T::Acc {
+/// preserves input order. A panicking chunk is recorded as failed, not
+/// propagated: the scope always joins cleanly.
+fn stealing_partials<T: DncTask>(
+    task: &T,
+    data: &[T::Item],
+    threads: usize,
+    grain: usize,
+    faults: FaultArg<'_>,
+) -> Vec<Result<T::Acc, String>> {
     let n = data.len();
     let grain = grain.max(1);
     let num_chunks = n.div_ceil(grain);
     if num_chunks <= 1 {
-        return task.work(data);
+        return vec![work_guarded(task, data, 0, 0, faults)];
     }
 
     // Per-worker deques seeded round-robin, like a TBB arena.
@@ -169,8 +406,10 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
         workers[chunk % threads].push(chunk);
     }
 
+    // One slot per chunk; `None` means the chunk never completed.
+    type Slot<A> = Mutex<Option<Result<A, String>>>;
     let remaining = AtomicUsize::new(num_chunks);
-    let slots: Vec<Mutex<Option<T::Acc>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Slot<T::Acc>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
     // Per-worker tallies; workers run on foreign threads (no ambient
     // tracer there), so events are emitted from the calling thread once
     // the scope closes.
@@ -212,8 +451,8 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
                     chunk_counts[wid].fetch_add(1, Ordering::Relaxed);
                     let lo = chunk * grain;
                     let hi = (lo + grain).min(n);
-                    let acc = task.work(&data[lo..hi]);
-                    *slots[chunk].lock() = Some(acc);
+                    let partial = work_guarded(task, &data[lo..hi], chunk, 0, faults);
+                    *slots[chunk].lock() = Some(partial);
                     remaining.fetch_sub(1, Ordering::AcqRel);
                 }
             });
@@ -241,9 +480,12 @@ fn run_stealing<T: DncTask>(task: &T, data: &[T::Item], threads: usize, grain: u
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("chunk computed"))
-        .reduce(|l, r| task.join(l, r))
-        .unwrap_or_else(|| task.identity())
+        .enumerate()
+        .map(|(chunk, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|| Err(format!("chunk {chunk} never completed")))
+        })
+        .collect()
 }
 
 /// Join a list of chunk partials as a balanced binary tree, with each
@@ -286,48 +528,252 @@ pub fn reduce_tree<T: DncTask>(task: &T, mut partials: Vec<T::Acc>) -> T::Acc {
         .unwrap_or_else(|| task.identity())
 }
 
-/// Run a map-only task: the `map` phase over all items in parallel
-/// (static partition), then the sequential `fold` in input order.
-pub fn run_map_only<T: MapOnlyTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
-    let threads = threads.max(1);
-    if threads == 1 || data.len() < 2 {
-        return data
-            .iter()
-            .fold(task.init(), |acc, item| task.fold(acc, task.map(item)));
+/// Panic-isolated variant of [`reduce_tree`]: a panicking join is
+/// retried once on the calling thread (operands are cloned so the retry
+/// has them); a second failure is an error — with only partials in hand
+/// there is no raw input to re-run sequentially.
+pub fn try_reduce_tree<T: DncTask>(
+    task: &T,
+    mut partials: Vec<T::Acc>,
+) -> Result<RunOutcome<T::Acc>, RuntimeError>
+where
+    T::Acc: Clone,
+{
+    let mut recovered = 0usize;
+    while partials.len() > 1 {
+        let leftover = if partials.len() % 2 == 1 {
+            partials.pop()
+        } else {
+            None
+        };
+        let mut iter = partials.into_iter();
+        let mut pairs: Vec<(T::Acc, T::Acc)> = Vec::new();
+        while let (Some(l), Some(r)) = (iter.next(), iter.next()) {
+            pairs.push((l, r));
+        }
+        let joined: Vec<Result<T::Acc, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|(l, r)| {
+                    let (l, r) = (l.clone(), r.clone());
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| task.join(l, r)))
+                            .map_err(|p| payload_string(p.as_ref()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(payload) => Err(payload_string(payload.as_ref())),
+                })
+                .collect()
+        });
+        let mut next = Vec::with_capacity(joined.len() + 1);
+        for (pair_idx, (result, (l, r))) in joined.into_iter().zip(pairs).enumerate() {
+            match result {
+                Ok(acc) => next.push(acc),
+                Err(payload) => {
+                    emit_worker_panic(pair_idx, 0, &payload);
+                    match catch_unwind(AssertUnwindSafe(|| task.join(l, r))) {
+                        Ok(acc) => {
+                            recovered += 1;
+                            next.push(acc);
+                        }
+                        Err(p) => {
+                            let payload = payload_string(p.as_ref());
+                            emit_worker_panic(pair_idx, 1, &payload);
+                            return Err(RuntimeError::WorkerPanicked {
+                                chunk: pair_idx,
+                                payload,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(last) = leftover {
+            next.push(last);
+        }
+        partials = next;
     }
-    let n = data.len();
-    let parts = threads.min(n);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut ranges = Vec::with_capacity(parts);
-    let mut lo = 0usize;
-    for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        ranges.push((lo, lo + len));
-        lo += len;
-    }
-    let mapped: Vec<Vec<T::Mapped>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                scope.spawn(move || data[lo..hi].iter().map(|x| task.map(x)).collect())
-            })
-            .collect();
-        handles
+    Ok(RunOutcome {
+        value: partials
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut acc = task.init();
-    for block in mapped {
-        for m in block {
-            acc = task.fold(acc, m);
+            .next()
+            .unwrap_or_else(|| task.identity()),
+        degraded: false,
+        recovered_chunks: recovered,
+    })
+}
+
+/// Run a map-only task: the `map` phase over all items in parallel
+/// (static partition), then the sequential `fold` in input order. Panic
+/// isolation and recovery mirror [`run_parallel`].
+pub fn run_map_only<T: MapOnlyTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
+    match try_run_map_only(task, data, threads) {
+        Ok(outcome) => outcome.value,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-isolated variant of [`run_map_only`], reporting retries and
+/// sequential degradation through [`RunOutcome`].
+pub fn try_run_map_only<T: MapOnlyTask>(
+    task: &T,
+    data: &[T::Item],
+    threads: usize,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    try_run_map_only_impl(task, data, threads, None)
+}
+
+/// [`try_run_map_only`] with a deterministic fault schedule applied to
+/// every map-block attempt.
+#[cfg(feature = "fault-inject")]
+pub fn run_map_only_with_faults<T: MapOnlyTask>(
+    task: &T,
+    data: &[T::Item],
+    threads: usize,
+    plan: &crate::faults::FaultPlan,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    try_run_map_only_impl(task, data, threads, Some(plan))
+}
+
+/// Map a block of items with panic isolation, mirroring [`work_guarded`].
+fn map_guarded<T: MapOnlyTask>(
+    task: &T,
+    slice: &[T::Item],
+    chunk: usize,
+    attempt: u32,
+    faults: FaultArg<'_>,
+) -> Result<Vec<T::Mapped>, String> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        let poisoned = inject(faults, chunk, attempt);
+        (
+            poisoned,
+            slice.iter().map(|x| task.map(x)).collect::<Vec<_>>(),
+        )
+    })) {
+        Ok((false, mapped)) => Ok(mapped),
+        Ok((true, _)) => Err(format!("injected fault: poisoned result at chunk {chunk}")),
+        Err(payload) => Err(payload_string(payload.as_ref())),
+    }
+}
+
+/// The sequential semantics of a map-only task (also its fallback).
+fn seq_map_fold<T: MapOnlyTask>(task: &T, data: &[T::Item]) -> T::Acc {
+    data.iter()
+        .fold(task.init(), |acc, item| task.fold(acc, task.map(item)))
+}
+
+fn try_run_map_only_impl<T: MapOnlyTask>(
+    task: &T,
+    data: &[T::Item],
+    threads: usize,
+    faults: FaultArg<'_>,
+) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+    let threads = threads.max(1);
+    let n = data.len();
+    let ranges: Vec<(usize, usize)> = if threads == 1 || n < 2 {
+        vec![(0, n)]
+    } else {
+        let parts = threads.min(n);
+        let base = n / parts;
+        let extra = n % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut lo = 0usize;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            ranges.push((lo, lo + len));
+            lo += len;
+        }
+        ranges
+    };
+    let mapped: Vec<Result<Vec<T::Mapped>, String>> = if ranges.len() == 1 {
+        vec![map_guarded(task, data, 0, 0, faults)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(chunk, &(lo, hi))| {
+                    scope.spawn(move || map_guarded(task, &data[lo..hi], chunk, 0, faults))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(partial) => partial,
+                    Err(payload) => Err(payload_string(payload.as_ref())),
+                })
+                .collect()
+        })
+    };
+    let mut recovered = 0usize;
+    let mut failed: Vec<usize> = Vec::new();
+    let mut blocks: Vec<Option<Vec<T::Mapped>>> = Vec::with_capacity(mapped.len());
+    for (chunk, (result, &(lo, hi))) in mapped.into_iter().zip(&ranges).enumerate() {
+        match result {
+            Ok(block) => blocks.push(Some(block)),
+            Err(payload) => {
+                emit_worker_panic(chunk, 0, &payload);
+                match map_guarded(task, &data[lo..hi], chunk, 1, faults) {
+                    Ok(block) => {
+                        recovered += 1;
+                        blocks.push(Some(block));
+                    }
+                    Err(payload) => {
+                        emit_worker_panic(chunk, 1, &payload);
+                        failed.push(chunk);
+                        blocks.push(None);
+                    }
+                }
+            }
         }
     }
-    acc
+    if failed.is_empty() {
+        // The fold phase can panic too; guard it and degrade like a
+        // failed chunk.
+        let folded = catch_unwind(AssertUnwindSafe(|| {
+            let mut acc = task.init();
+            for block in blocks.into_iter().flatten() {
+                for m in block {
+                    acc = task.fold(acc, m);
+                }
+            }
+            acc
+        }));
+        if let Ok(value) = folded {
+            return Ok(RunOutcome {
+                value,
+                degraded: false,
+                recovered_chunks: recovered,
+            });
+        }
+    }
+    if trace::enabled() {
+        trace::point(
+            "execute",
+            "fallback_sequential",
+            &[("failed_chunks", failed.len().into())],
+        );
+    }
+    match catch_unwind(AssertUnwindSafe(|| seq_map_fold(task, data))) {
+        Ok(value) => Ok(RunOutcome {
+            value,
+            degraded: true,
+            recovered_chunks: recovered,
+        }),
+        Err(payload) => Err(RuntimeError::WorkerPanicked {
+            chunk: failed.first().copied().unwrap_or(0),
+            payload: payload_string(payload.as_ref()),
+        }),
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -523,5 +969,255 @@ mod tests {
         let cfg = RunConfig::work_stealing(4).with_grain(1);
         assert_eq!(run_parallel(&Sum, &empty, cfg), 0);
         assert_eq!(run_parallel(&Sum, &[42], cfg), 42);
+    }
+
+    /// Sum, but every chunk attempt on an unnamed thread panics. Scoped
+    /// executor workers are unnamed while the calling (test) thread is
+    /// named, so every chunk fails its parallel attempt and every retry
+    /// — which runs on the calling thread — succeeds.
+    struct WorkerShySum;
+    impl DncTask for WorkerShySum {
+        type Item = i64;
+        type Acc = i64;
+        fn identity(&self) -> i64 {
+            0
+        }
+        fn work(&self, chunk: &[i64]) -> i64 {
+            if std::thread::current().name().is_none() {
+                panic!("no tasks on worker threads");
+            }
+            chunk.iter().sum()
+        }
+        fn join(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    /// Sum that panics on any slice shorter than the whole input — the
+    /// parallel plan always fails (attempt and retry see chunk-sized
+    /// slices) while the sequential fallback succeeds.
+    struct SmallSlicePanic {
+        full_len: usize,
+    }
+    impl DncTask for SmallSlicePanic {
+        type Item = i64;
+        type Acc = i64;
+        fn identity(&self) -> i64 {
+            0
+        }
+        fn work(&self, chunk: &[i64]) -> i64 {
+            assert!(chunk.len() >= self.full_len, "injected: chunk too small");
+            chunk.iter().sum()
+        }
+        fn join(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    /// A task that panics on every slice, even the full input.
+    struct AlwaysPanics;
+    impl DncTask for AlwaysPanics {
+        type Item = i64;
+        type Acc = i64;
+        fn identity(&self) -> i64 {
+            0
+        }
+        fn work(&self, _chunk: &[i64]) -> i64 {
+            panic!("broken task")
+        }
+        fn join(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    #[test]
+    fn transient_worker_panics_recover_via_retry() {
+        let d = data(1_000);
+        let seq = run_sequential(&Sum, &d);
+        for backend in [Backend::Static, Backend::WorkStealing] {
+            let cfg = RunConfig {
+                threads: 4,
+                grain: 100,
+                backend,
+            };
+            let out = try_run_parallel(&WorkerShySum, &d, cfg).unwrap();
+            assert_eq!(out.value, seq, "backend {backend:?}");
+            assert!(!out.degraded, "backend {backend:?} should recover in place");
+            assert!(out.recovered_chunks > 0, "backend {backend:?}");
+        }
+    }
+
+    #[test]
+    fn persistent_worker_panics_degrade_to_sequential() {
+        let d = data(300);
+        let seq = run_sequential(&Sum, &d);
+        let task = SmallSlicePanic { full_len: d.len() };
+        for backend in [Backend::Static, Backend::WorkStealing] {
+            let cfg = RunConfig {
+                threads: 4,
+                grain: 100,
+                backend,
+            };
+            let out = try_run_parallel(&task, &d, cfg).unwrap();
+            assert_eq!(out.value, seq, "backend {backend:?}");
+            assert!(out.degraded, "backend {backend:?} should have degraded");
+        }
+        // The infallible wrapper recovers transparently too.
+        assert_eq!(
+            run_parallel(&task, &d, RunConfig::work_stealing(4).with_grain(100)),
+            seq
+        );
+    }
+
+    #[test]
+    fn broken_task_is_a_typed_error() {
+        let d = data(300);
+        let cfg = RunConfig::work_stealing(4).with_grain(100);
+        let err = try_run_parallel(&AlwaysPanics, &d, cfg).unwrap_err();
+        let RuntimeError::WorkerPanicked { payload, .. } = err;
+        assert_eq!(payload, "broken task");
+    }
+
+    #[test]
+    fn panicking_join_degrades_to_sequential() {
+        /// Work succeeds but every join panics: the guarded reduction
+        /// must hand over to the sequential fallback.
+        struct JoinPanics;
+        impl DncTask for JoinPanics {
+            type Item = i64;
+            type Acc = i64;
+            fn identity(&self) -> i64 {
+                0
+            }
+            fn work(&self, chunk: &[i64]) -> i64 {
+                chunk.iter().sum()
+            }
+            fn join(&self, _l: i64, _r: i64) -> i64 {
+                panic!("broken join")
+            }
+        }
+        let d = data(300);
+        let out = try_run_parallel(
+            &JoinPanics,
+            &d,
+            RunConfig::static_schedule(3).with_grain(50),
+        )
+        .unwrap();
+        assert_eq!(out.value, run_sequential(&Sum, &d));
+        assert!(out.degraded);
+    }
+
+    #[test]
+    fn tree_reduction_retries_panicking_joins() {
+        use std::sync::atomic::AtomicUsize;
+        /// Concatenating join that panics on its first invocation only.
+        struct FlakyJoin {
+            calls: AtomicUsize,
+        }
+        impl DncTask for FlakyJoin {
+            type Item = i64;
+            type Acc = Vec<i64>;
+            fn identity(&self) -> Vec<i64> {
+                Vec::new()
+            }
+            fn work(&self, chunk: &[i64]) -> Vec<i64> {
+                chunk.to_vec()
+            }
+            fn join(&self, mut l: Vec<i64>, r: Vec<i64>) -> Vec<i64> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("flaky join");
+                }
+                l.extend(r);
+                l
+            }
+        }
+        let d = data(1_000);
+        let task = FlakyJoin {
+            calls: AtomicUsize::new(0),
+        };
+        let partials: Vec<Vec<i64>> = d.chunks(173).map(|c| c.to_vec()).collect();
+        let out = try_reduce_tree(&task, partials).unwrap();
+        assert_eq!(out.value, d);
+        assert_eq!(out.recovered_chunks, 1);
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn map_only_recovers_from_worker_panics() {
+        /// Count positives, but map panics on unnamed (worker) threads.
+        struct WorkerShyCount;
+        impl MapOnlyTask for WorkerShyCount {
+            type Item = i64;
+            type Mapped = bool;
+            type Acc = usize;
+            fn init(&self) -> usize {
+                0
+            }
+            fn map(&self, item: &i64) -> bool {
+                if std::thread::current().name().is_none() {
+                    panic!("no maps on worker threads");
+                }
+                *item > 0
+            }
+            fn fold(&self, acc: usize, mapped: bool) -> usize {
+                acc + usize::from(mapped)
+            }
+        }
+        let d = data(1_000);
+        let seq = run_map_only(&CountPositive, &d, 1);
+        let out = try_run_map_only(&WorkerShyCount, &d, 4).unwrap();
+        assert_eq!(out.value, seq);
+        assert!(!out.degraded);
+        assert_eq!(out.recovered_chunks, 4);
+    }
+
+    #[test]
+    fn map_only_fold_panic_degrades_to_sequential() {
+        use std::sync::atomic::AtomicUsize;
+        /// Count positives, but the first fold call ever panics — the
+        /// guarded fold phase fails, the sequential fallback succeeds.
+        struct FlakyFold {
+            calls: AtomicUsize,
+        }
+        impl MapOnlyTask for FlakyFold {
+            type Item = i64;
+            type Mapped = bool;
+            type Acc = usize;
+            fn init(&self) -> usize {
+                0
+            }
+            fn map(&self, item: &i64) -> bool {
+                *item > 0
+            }
+            fn fold(&self, acc: usize, mapped: bool) -> usize {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("flaky fold");
+                }
+                acc + usize::from(mapped)
+            }
+        }
+        let d = data(1_000);
+        let seq = run_map_only(&CountPositive, &d, 1);
+        let task = FlakyFold {
+            calls: AtomicUsize::new(0),
+        };
+        let out = try_run_map_only(&task, &d, 4).unwrap();
+        assert_eq!(out.value, seq);
+        assert!(out.degraded);
+    }
+
+    #[test]
+    fn worker_panics_and_fallback_are_traced() {
+        use parsynt_trace::sinks::PhaseAggregator;
+        let agg = PhaseAggregator::new();
+        let _guard = trace::set_ambient(trace::Tracer::from_sink(agg.clone()));
+        let d = data(300);
+        let task = SmallSlicePanic { full_len: d.len() };
+        let cfg = RunConfig::work_stealing(4).with_grain(100);
+        let out = try_run_parallel(&task, &d, cfg).unwrap();
+        assert!(out.degraded);
+        let counters = agg.counters();
+        // Chunk/join counters still reflect the attempted parallel plan.
+        assert_eq!(counters["execute.chunks"], 3);
     }
 }

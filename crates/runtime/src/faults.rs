@@ -1,0 +1,206 @@
+//! Deterministic, seeded fault injection for the executors.
+//!
+//! Only compiled under the `fault-inject` cargo feature; production
+//! builds carry none of this code. A [`FaultPlan`] decides, purely as a
+//! function of `(seed, chunk, attempt)`, whether a worker should panic,
+//! stall, or report its chunk result as poisoned — so every fault
+//! scenario is reproducible from its seed alone, across thread
+//! interleavings and repeat runs.
+
+use std::time::Duration;
+
+/// What a fault site does to the worker that hits it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the worker (caught by the executor's isolation).
+    Panic,
+    /// Sleep before doing the work (exercises stragglers/stealing).
+    Delay(Duration),
+    /// Complete the work but mark the chunk result as poisoned — the
+    /// executor must discard it and recover, exactly as it would for a
+    /// result that failed validation.
+    Poison,
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Rates are evaluated independently per `(chunk, attempt)` site by
+/// hashing it together with the seed; a site either always faults or
+/// never does, for a fixed plan. By default faults fire only on the
+/// first attempt (`attempt == 0`), so a single retry recovers;
+/// [`FaultPlan::persistent`] makes them fire on every attempt, forcing
+/// the sequential fallback.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_rate: f64,
+    poison_rate: f64,
+    delay_rate: f64,
+    delay: Duration,
+    persistent: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until rates are configured.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_rate: 0.0,
+            poison_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(1),
+            persistent: false,
+        }
+    }
+
+    /// Fraction of fault sites that panic.
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of fault sites that poison their chunk result.
+    pub fn with_poison_rate(mut self, rate: f64) -> Self {
+        self.poison_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of fault sites that sleep for `delay` before working.
+    pub fn with_delay(mut self, rate: f64, delay: Duration) -> Self {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay = delay;
+        self
+    }
+
+    /// Make faults fire on retries too (default: first attempt only),
+    /// which drives the executor all the way to its sequential fallback.
+    pub fn persistent(mut self, yes: bool) -> Self {
+        self.persistent = yes;
+        self
+    }
+
+    /// The fault (if any) scheduled at `(chunk, attempt)`.
+    pub fn decide(&self, chunk: usize, attempt: u32) -> Option<FaultKind> {
+        if !self.persistent && attempt > 0 {
+            return None;
+        }
+        // The site key ignores the attempt: a faulty site stays faulty
+        // across retries of a persistent plan.
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(chunk as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let u = unit_interval(splitmix64(key));
+        if u < self.panic_rate {
+            Some(FaultKind::Panic)
+        } else if u < self.panic_rate + self.poison_rate {
+            Some(FaultKind::Poison)
+        } else if u < self.panic_rate + self.poison_rate + self.delay_rate {
+            Some(FaultKind::Delay(self.delay))
+        } else {
+            None
+        }
+    }
+
+    /// Execute the fault scheduled at `(chunk, attempt)`, if any:
+    /// panics for [`FaultKind::Panic`], sleeps for [`FaultKind::Delay`],
+    /// and returns `true` when the chunk result must be treated as
+    /// poisoned.
+    pub fn apply(&self, chunk: usize, attempt: u32) -> bool {
+        match self.decide(chunk, attempt) {
+            Some(FaultKind::Panic) => {
+                panic!("injected fault: panic at chunk {chunk} attempt {attempt}")
+            }
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(FaultKind::Poison) => true,
+            None => false,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a full-avalanche hash, so consecutive chunk
+/// indices land uniformly in `[0, 2^64)`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to `[0, 1)` using the top 53 bits (exact in an `f64`).
+fn unit_interval(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(42)
+            .with_panic_rate(0.3)
+            .with_poison_rate(0.2);
+        let a: Vec<_> = (0..64).map(|c| plan.decide(c, 0)).collect();
+        let b: Vec<_> = (0..64).map(|c| plan.decide(c, 0)).collect();
+        assert_eq!(a, b);
+        // A different seed produces a different schedule (overwhelmingly
+        // likely over 64 sites at these rates).
+        let other = FaultPlan::seeded(43)
+            .with_panic_rate(0.3)
+            .with_poison_rate(0.2);
+        let c: Vec<_> = (0..64).map(|ch| other.decide(ch, 0)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transient_faults_never_fire_on_retry() {
+        let plan = FaultPlan::seeded(7).with_panic_rate(1.0);
+        assert_eq!(plan.decide(0, 0), Some(FaultKind::Panic));
+        assert_eq!(plan.decide(0, 1), None);
+    }
+
+    #[test]
+    fn persistent_faults_fire_on_every_attempt() {
+        let plan = FaultPlan::seeded(7).with_panic_rate(1.0).persistent(true);
+        for attempt in 0..3 {
+            assert_eq!(plan.decide(5, attempt), Some(FaultKind::Panic));
+        }
+    }
+
+    #[test]
+    fn rates_partition_the_unit_interval() {
+        let plan = FaultPlan::seeded(1)
+            .with_panic_rate(0.25)
+            .with_poison_rate(0.25)
+            .with_delay(0.25, Duration::from_millis(1));
+        let mut seen = [0usize; 4];
+        for chunk in 0..4000 {
+            match plan.decide(chunk, 0) {
+                Some(FaultKind::Panic) => seen[0] += 1,
+                Some(FaultKind::Poison) => seen[1] += 1,
+                Some(FaultKind::Delay(_)) => seen[2] += 1,
+                None => seen[3] += 1,
+            }
+        }
+        for (i, count) in seen.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(count),
+                "bucket {i} badly skewed: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_reports_poison_and_swallows_delay() {
+        let plan = FaultPlan::seeded(9).with_poison_rate(1.0);
+        assert!(plan.apply(3, 0));
+        let quiet = FaultPlan::seeded(9);
+        assert!(!quiet.apply(3, 0));
+    }
+}

@@ -19,9 +19,29 @@
 //! A [map-only executor](run_map_only) covers the Prop. 4.3 case where
 //! the inner loop nest parallelizes but the outer fold stays sequential
 //! (balanced parentheses, §2.1).
+//!
+//! All executors are panic-isolated: a worker panic is caught, its
+//! chunk retried once, and persistent failures degrade the run to
+//! sequential re-execution (see the `try_*` entry points and
+//! [`RunOutcome`]). The `fault-inject` cargo feature adds a seeded,
+//! deterministic fault-injection harness ([`faults`]-module) for
+//! exercising those recovery paths.
 
+#![warn(clippy::unwrap_used)]
+
+pub mod error;
 pub mod executor;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod task;
 
-pub use executor::{reduce_tree, run_map_only, run_parallel, run_sequential, Backend, RunConfig};
+pub use error::RuntimeError;
+pub use executor::{
+    reduce_tree, run_map_only, run_parallel, run_sequential, try_reduce_tree, try_run_map_only,
+    try_run_parallel, Backend, RunConfig, RunOutcome,
+};
+#[cfg(feature = "fault-inject")]
+pub use executor::{run_map_only_with_faults, run_parallel_with_faults};
+#[cfg(feature = "fault-inject")]
+pub use faults::{FaultKind, FaultPlan};
 pub use task::{DncTask, MapOnlyTask};

@@ -15,6 +15,7 @@ use parsynt_lang::ast::{BinOp, Expr, UnOp};
 use parsynt_lang::interp::Env;
 use parsynt_lang::{Ty, Value};
 use parsynt_trace as trace;
+use parsynt_trace::Deadline;
 use std::cell::Cell;
 use std::collections::HashSet;
 
@@ -93,12 +94,24 @@ struct Term {
 pub struct Enumerator {
     probes: Vec<Env>,
     cfg: EnumConfig,
+    deadline: Deadline,
 }
 
 impl Enumerator {
     /// Create an enumerator with the given probe environments.
     pub fn new(probes: Vec<Env>, cfg: EnumConfig) -> Self {
-        Enumerator { probes, cfg }
+        Enumerator {
+            probes,
+            cfg,
+            deadline: Deadline::none(),
+        }
+    }
+
+    /// Attach a wall-clock deadline; enumeration stops (returning
+    /// `None`) at the next construction step after expiry.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Enumerate terms of `target_ty` built from `atoms`, in size order,
@@ -115,6 +128,9 @@ impl Enumerator {
         if trace::enabled() && cache.misses() > 0 {
             trace::counter("synthesize", "eval_cache_hits", cache.hits());
             trace::counter("synthesize", "eval_cache_misses", cache.misses());
+            if cache.evictions() > 0 {
+                trace::counter("synthesize", "eval_cache_evictions", cache.evictions());
+            }
         }
         result
     }
@@ -135,6 +151,9 @@ impl Enumerator {
         // Size 1: the atoms.
         let mut level1 = Vec::new();
         for atom in atoms {
+            if self.deadline.is_expired() {
+                return None;
+            }
             counts.built();
             let id = pool.intern_expr(&atom.expr);
             let sig = self.signature(pool, cache, id);
@@ -158,6 +177,9 @@ impl Enumerator {
             // Unary: !bool
             let prev = by_size[size - 1].clone();
             for t in prev {
+                if self.deadline.is_expired() {
+                    return None;
+                }
                 if t.ty == Ty::Bool {
                     let id = pool.intern(Node::Unary(UnOp::Not, t.id));
                     if let Some(found) = self.offer(
@@ -184,6 +206,9 @@ impl Enumerator {
                     continue;
                 }
                 for i1 in 0..by_size[s1].len() {
+                    if self.deadline.is_expired() {
+                        return None;
+                    }
                     for i2 in 0..by_size[s2].len() {
                         let (a, b) = (by_size[s1][i1].clone(), by_size[s2][i2].clone());
                         let mut results: Vec<(Node, Ty)> = Vec::new();
@@ -232,6 +257,9 @@ impl Enumerator {
                             continue;
                         }
                         for c in 0..by_size[sc].len() {
+                            if self.deadline.is_expired() {
+                                return None;
+                            }
                             for t in 0..by_size[st].len() {
                                 for e2 in 0..by_size[se].len() {
                                     let (vc, vt, ve) = (

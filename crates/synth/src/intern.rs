@@ -168,6 +168,12 @@ impl TermPool {
 /// cases. Case `k` must always be paired with the same environment —
 /// the cache trusts the caller on this, exactly like the enumerator's
 /// probe list, whose indices it mirrors.
+///
+/// The cache is bounded: once the total number of stored entries
+/// (across all cases) exceeds its capacity, every row is cleared
+/// wholesale and an eviction is counted. Wholesale clearing keeps the
+/// common path branch-free (no per-entry LRU bookkeeping) and is safe
+/// because entries are pure memoization — the next lookup recomputes.
 #[derive(Debug)]
 pub struct EvalCache {
     /// `slots[case][term]`: `None` = not yet computed, `Some(None)` =
@@ -175,15 +181,36 @@ pub struct EvalCache {
     slots: Vec<Vec<Option<Option<Value>>>>,
     hits: u64,
     misses: u64,
+    /// Entries currently stored across all rows.
+    stored: usize,
+    /// Stored-entry bound that triggers a wholesale clear.
+    capacity: usize,
+    evictions: u64,
 }
 
+/// Default bound on stored cache entries, across all probe cases.
+/// Sized for the enumerator's worst case (`max_terms = 60_000` retained
+/// terms × ~30 probes ≈ 1.8M lookups of mostly-small values) while
+/// capping memory at low hundreds of MB even for sequence-valued terms.
+const DEFAULT_EVAL_CACHE_CAPACITY: usize = 2_000_000;
+
 impl EvalCache {
-    /// A cache over `cases` probe environments.
+    /// A cache over `cases` probe environments with the default
+    /// capacity bound.
     pub fn new(cases: usize) -> Self {
+        EvalCache::with_capacity(cases, DEFAULT_EVAL_CACHE_CAPACITY)
+    }
+
+    /// A cache over `cases` probe environments holding at most
+    /// `capacity` entries before a wholesale clear (clamped to ≥ 1).
+    pub fn with_capacity(cases: usize, capacity: usize) -> Self {
         EvalCache {
             slots: vec![Vec::new(); cases],
             hits: 0,
             misses: 0,
+            stored: 0,
+            capacity: capacity.max(1),
+            evictions: 0,
         }
     }
 
@@ -197,6 +224,16 @@ impl EvalCache {
         self.misses
     }
 
+    /// Times the cache overflowed its capacity and was cleared.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries currently stored across all cases.
+    pub fn stored(&self) -> usize {
+        self.stored
+    }
+
     /// Evaluate `id` in probe case `case` with environment `env`,
     /// memoizing the result. `None` means evaluation failed (matching
     /// `eval_expr(env, e).ok()`).
@@ -207,9 +244,20 @@ impl EvalCache {
         }
         self.misses += 1;
         let value = self.compute(pool, case, env, pool.node(id));
+        if self.stored >= self.capacity {
+            for row in &mut self.slots {
+                row.clear();
+                row.shrink_to_fit();
+            }
+            self.stored = 0;
+            self.evictions += 1;
+        }
         let row = &mut self.slots[case];
         if row.len() <= id.index() {
             row.resize(id.index() + 1, None);
+        }
+        if row[id.index()].is_none() {
+            self.stored += 1;
         }
         row[id.index()] = Some(value.clone());
         value
@@ -347,6 +395,32 @@ mod tests {
         assert_eq!(cache.eval(&pool, 0, &env, id), Some(Value::Int(3)));
         assert_eq!(cache.misses(), misses, "no recomputation expected");
         assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn overflow_clears_wholesale_and_counts_evictions() {
+        let env = env_with(&[(0, Value::Int(2))]);
+        let mut pool = TermPool::new();
+        // Capacity 3: the fourth distinct stored entry triggers a clear.
+        let mut cache = EvalCache::with_capacity(1, 3);
+        let ids: Vec<TermId> = (0..5)
+            .map(|n| pool.intern_expr(&Expr::add(Expr::var(Sym(0)), Expr::int(n))))
+            .collect();
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(
+                cache.eval(&pool, 0, &env, *id),
+                Some(Value::Int(2 + n as i64))
+            );
+        }
+        assert!(cache.evictions() >= 1, "capacity 3 must evict by entry 5");
+        assert!(cache.stored() <= 3);
+        // Values survive eviction semantically: recomputation agrees.
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(
+                cache.eval(&pool, 0, &env, *id),
+                Some(Value::Int(2 + n as i64))
+            );
+        }
     }
 
     #[test]

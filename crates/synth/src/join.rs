@@ -136,16 +136,25 @@ pub struct JoinResult {
     pub failed_var: Option<String>,
     /// Whether the join required a loop (array-shaped state).
     pub looped: bool,
+    /// Whether the search stopped because the configured deadline
+    /// expired (rather than because the space was exhausted).
+    pub timed_out: bool,
 }
 
 impl JoinResult {
-    fn failure(elapsed: Duration, stats: Vec<VarStats>, var: String) -> JoinResult {
+    fn failure(
+        elapsed: Duration,
+        stats: Vec<VarStats>,
+        var: String,
+        timed_out: bool,
+    ) -> JoinResult {
         JoinResult {
             join: None,
             elapsed,
             stats,
             failed_var: Some(var),
             looped: false,
+            timed_out,
         }
     }
 }
@@ -321,6 +330,14 @@ pub fn synthesize_join(
     let mut extra_cases: Vec<Case> = Vec::new();
     let mut last_failure: Option<(Vec<VarStats>, String)> = None;
     for attempt in 0..3u32 {
+        if cfg.deadline.is_expired() {
+            let (stats, _) = last_failure.unwrap_or_default();
+            join_span.record("timed_out", true);
+            return Ok((
+                JoinResult::failure(start.elapsed(), stats, "<deadline>".to_owned(), true),
+                vocab,
+            ));
+        }
         trace::point(
             "synthesize",
             "cegis_round",
@@ -364,7 +381,12 @@ pub fn synthesize_join(
                 let name = program.name(deferred[0]).to_owned();
                 join_span.record("failed_var", name.as_str());
                 return Ok((
-                    JoinResult::failure(start.elapsed(), solver.stats, name),
+                    JoinResult::failure(
+                        start.elapsed(),
+                        solver.stats,
+                        name,
+                        cfg.deadline.is_expired(),
+                    ),
                     vocab,
                 ));
             }
@@ -388,7 +410,12 @@ pub fn synthesize_join(
         if let Some(name) = failed {
             join_span.record("failed_var", name.as_str());
             return Ok((
-                JoinResult::failure(start.elapsed(), solver.stats, name),
+                JoinResult::failure(
+                    start.elapsed(),
+                    solver.stats,
+                    name,
+                    cfg.deadline.is_expired(),
+                ),
                 vocab,
             ));
         }
@@ -427,6 +454,7 @@ pub fn synthesize_join(
                     stats: solver.stats,
                     failed_var: None,
                     looped,
+                    timed_out: false,
                 },
                 vocab,
             ));
@@ -436,7 +464,10 @@ pub fn synthesize_join(
     }
     let (stats, var) = last_failure.unwrap_or_default();
     join_span.record("failed_var", var.as_str());
-    Ok((JoinResult::failure(start.elapsed(), stats, var), vocab))
+    Ok((
+        JoinResult::failure(start.elapsed(), stats, var, cfg.deadline.is_expired()),
+        vocab,
+    ))
 }
 
 #[cfg(test)]

@@ -159,6 +159,9 @@ pub struct MergeResult {
     pub failed_var: Option<String>,
     /// Whether the merge required a loop.
     pub looped: bool,
+    /// Whether the search stopped because the configured deadline
+    /// expired (rather than because the space was exhausted).
+    pub timed_out: bool,
 }
 
 fn merge_case(program: &Program, vocab: &MergeVocab, ex: &MergeExample) -> Result<Case> {
@@ -353,6 +356,21 @@ pub fn synthesize_merge(
     let mut extra_cases: Vec<Case> = Vec::new();
     let mut last_failure: Option<(Vec<VarStats>, String, bool)> = None;
     for attempt in 0..3u32 {
+        if cfg.deadline.is_expired() {
+            let (stats, _, looped) = last_failure.unwrap_or_default();
+            merge_span.record("timed_out", true);
+            return Ok((
+                MergeResult {
+                    merge: None,
+                    elapsed: start.elapsed(),
+                    stats,
+                    failed_var: Some("<deadline>".to_owned()),
+                    looped,
+                    timed_out: true,
+                },
+                vocab,
+            ));
+        }
         trace::point(
             "synthesize",
             "cegis_round",
@@ -423,6 +441,7 @@ pub fn synthesize_merge(
                     stats: solver.stats,
                     failed_var: Some(var),
                     looped,
+                    timed_out: cfg.deadline.is_expired(),
                 },
                 vocab,
             ));
@@ -462,6 +481,7 @@ pub fn synthesize_merge(
                     stats: solver.stats,
                     failed_var: None,
                     looped,
+                    timed_out: false,
                 },
                 vocab,
             ));
@@ -478,6 +498,7 @@ pub fn synthesize_merge(
             stats,
             failed_var: Some(var),
             looped,
+            timed_out: cfg.deadline.is_expired(),
         },
         vocab,
     ))

@@ -17,6 +17,8 @@
 use crate::solver::CaseSet;
 use parsynt_lang::ast::{Expr, Stmt, Sym};
 use parsynt_trace as trace;
+use parsynt_trace::Deadline;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -30,6 +32,25 @@ pub struct ScreenOutcome {
     /// Time between the first hit and the last worker stopping — how
     /// long cooperative cancellation took to drain the pool.
     pub cancel_latency_us: u64,
+    /// Candidates whose test closure panicked (each is treated as
+    /// rejected, so a panicking candidate can never become the winner).
+    pub panics: u64,
+}
+
+/// Run `test` on one item, converting a panic into a rejection.
+///
+/// Screening closures evaluate synthesized candidate code through the
+/// interpreter; a pathological candidate must only disqualify itself,
+/// never tear down the worker pool (a panic crossing `thread::scope`
+/// would abort the whole synthesis run).
+fn test_isolated<T>(test: &(dyn Fn(&T) -> bool + Sync), item: &T, panics: &AtomicU64) -> bool {
+    match catch_unwind(AssertUnwindSafe(|| test(item))) {
+        Ok(passed) => passed,
+        Err(_) => {
+            panics.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
 }
 
 /// Test every item and return the smallest passing index, sharding the
@@ -38,23 +59,39 @@ pub struct ScreenOutcome {
 /// Determinism: workers claim indices in ascending order and only skip
 /// an index when a *smaller* one has already passed, so every index
 /// below the final winner is tested and the result equals a sequential
-/// scan's.
+/// scan's. A panicking test rejects its candidate; an expired
+/// `deadline` makes every worker stop at its next claim.
 pub fn screen_batch<T: Sync>(
     threads: usize,
     items: &[T],
     test: &(dyn Fn(&T) -> bool + Sync),
 ) -> ScreenOutcome {
+    screen_batch_deadline(threads, items, &Deadline::none(), test)
+}
+
+/// [`screen_batch`] with a cooperative wall-clock deadline.
+pub fn screen_batch_deadline<T: Sync>(
+    threads: usize,
+    items: &[T],
+    deadline: &Deadline,
+    test: &(dyn Fn(&T) -> bool + Sync),
+) -> ScreenOutcome {
     let n = items.len();
     let threads = threads.max(1).min(n.max(1));
+    let panics = AtomicU64::new(0);
     if threads <= 1 {
         let mut tested = 0u64;
         for (i, item) in items.iter().enumerate() {
+            if deadline.is_expired() {
+                break;
+            }
             tested += 1;
-            if test(item) {
+            if test_isolated(test, item, &panics) {
                 return ScreenOutcome {
                     winner: Some(i),
                     per_worker: vec![tested],
                     cancel_latency_us: 0,
+                    panics: panics.into_inner(),
                 };
             }
         }
@@ -62,6 +99,7 @@ pub fn screen_batch<T: Sync>(
             winner: None,
             per_worker: vec![tested],
             cancel_latency_us: 0,
+            panics: panics.into_inner(),
         };
     }
 
@@ -73,6 +111,7 @@ pub fn screen_batch<T: Sync>(
     std::thread::scope(|scope| {
         for tally in &counts {
             let (next, best, first_win_us, started) = (&next, &best, &first_win_us, &started);
+            let panics = &panics;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -83,8 +122,11 @@ pub fn screen_batch<T: Sync>(
                 if i > best.load(Ordering::Acquire) {
                     break;
                 }
+                if deadline.is_expired() {
+                    break;
+                }
                 tally.fetch_add(1, Ordering::Relaxed);
-                if test(&items[i]) {
+                if test_isolated(test, &items[i], panics) {
                     best.fetch_min(i, Ordering::AcqRel);
                     first_win_us.fetch_min(
                         u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
@@ -104,6 +146,7 @@ pub fn screen_batch<T: Sync>(
         } else {
             0
         },
+        panics: panics.into_inner(),
     }
 }
 
@@ -126,6 +169,8 @@ pub struct BatchScreen<'a> {
     per_worker: Vec<u64>,
     flushes: u64,
     cancel_latency_us: u64,
+    panics: u64,
+    deadline: Deadline,
 }
 
 /// First flush after this many candidates per worker; doubles per flush.
@@ -155,14 +200,27 @@ impl<'a> BatchScreen<'a> {
             per_worker: vec![0; threads],
             flushes: 0,
             cancel_latency_us: 0,
+            panics: 0,
+            deadline: Deadline::none(),
         }
     }
 
-    /// Offer the next candidate. Returns `true` once a winner is known;
-    /// the generator should stop and the caller read it from
-    /// [`BatchScreen::finish`].
+    /// Attach a wall-clock deadline: once expired, [`BatchScreen::offer`]
+    /// tells the generator to stop and the tail is never flushed.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Offer the next candidate. Returns `true` once a winner is known
+    /// (the generator should stop and the caller read it from
+    /// [`BatchScreen::finish`]) or the deadline has expired (the caller
+    /// distinguishes the two by checking the deadline).
     pub fn offer(&mut self, e: &Expr) -> bool {
         if self.winner.is_some() {
+            return true;
+        }
+        if self.deadline.is_expired() {
             return true;
         }
         self.pending.push(e.clone());
@@ -178,14 +236,16 @@ impl<'a> BatchScreen<'a> {
             return;
         }
         let (cases, target, build) = (self.cases, self.target, self.build);
-        let outcome = screen_batch(self.threads, &self.pending, &|e: &Expr| {
-            cases.accepts_pure(&[build(e)], target)
-        });
+        let outcome =
+            screen_batch_deadline(self.threads, &self.pending, &self.deadline, &|e: &Expr| {
+                cases.accepts_pure(&[build(e)], target)
+            });
         for (total, tested) in self.per_worker.iter_mut().zip(&outcome.per_worker) {
             *total += tested;
         }
         self.flushes += 1;
         self.cancel_latency_us += outcome.cancel_latency_us;
+        self.panics += outcome.panics;
         if let Some(i) = outcome.winner {
             self.winner = Some(self.pending[i].clone());
         }
@@ -195,12 +255,16 @@ impl<'a> BatchScreen<'a> {
     /// Flush any buffered candidates and return the winning expression,
     /// emitting the `synthesize` screening counters (the workers
     /// themselves cannot: the ambient tracer is thread-local to the
-    /// synthesis thread).
+    /// synthesis thread). A screen whose deadline expired skips the
+    /// tail flush and returns `None` immediately.
     pub fn finish(mut self) -> Option<Expr> {
-        if self.winner.is_none() {
+        if self.winner.is_none() && !self.deadline.is_expired() {
             self.flush();
         }
         let screened: u64 = self.per_worker.iter().sum();
+        if trace::enabled() && self.panics > 0 {
+            trace::counter("synthesize", "screen_panic", self.panics);
+        }
         if trace::enabled() && screened > 0 {
             trace::counter("synthesize", "par_screened", screened);
             for (worker, tested) in self.per_worker.iter().enumerate() {

@@ -1,6 +1,7 @@
 //! Synthesis configuration and statistics.
 
 use crate::enumerate::EnumConfig;
+use parsynt_trace::Deadline;
 
 /// Tuning knobs for the synthesis engine.
 ///
@@ -39,6 +40,12 @@ pub struct SynthConfig {
     /// minimum-index tie-break makes the result identical to the
     /// sequential path's.
     pub threads: usize,
+    /// Wall-clock budget for the whole synthesis search. The default
+    /// is unlimited; an expired deadline makes every search loop
+    /// (sketch hole-filling, enumeration, parallel screening, CEGIS
+    /// rounds) unwind cooperatively so the caller can report a typed
+    /// deadline-exceeded outcome instead of hanging.
+    pub deadline: Deadline,
 }
 
 impl Default for SynthConfig {
@@ -52,6 +59,7 @@ impl Default for SynthConfig {
             seed: 0xC0FFEE,
             incremental: true,
             threads: 1,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -97,6 +105,17 @@ impl SynthConfig {
         self.search_examples = search.max(1);
         self.verify_examples = verify;
         self
+    }
+
+    /// Set the wall-clock deadline for the synthesis search.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Convenience: expire the search `ms` milliseconds from now.
+    pub fn with_timeout_ms(self, ms: u64) -> Self {
+        self.with_deadline(Deadline::after(std::time::Duration::from_millis(ms)))
     }
 }
 

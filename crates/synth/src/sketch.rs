@@ -9,6 +9,7 @@
 use crate::vocab::VocabEntry;
 use parsynt_lang::ast::{BinOp, Expr, Interner, Sym};
 use parsynt_lang::Ty;
+use parsynt_trace::Deadline;
 
 /// A hole in a sketch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,7 +205,14 @@ pub fn solve_sketch(
     max_tries: usize,
     check: &mut dyn FnMut(&Expr) -> bool,
 ) -> Option<(Expr, usize)> {
-    solve_sketch_related(sketch, candidates, max_tries, &|_| Vec::new(), check)
+    solve_sketch_related(
+        sketch,
+        candidates,
+        max_tries,
+        &Deadline::none(),
+        &|_| Vec::new(),
+        check,
+    )
 }
 
 /// [`solve_sketch`] with an origin-relatedness oracle: for a hole that
@@ -212,10 +220,14 @@ pub fn solve_sketch(
 /// tried first (e.g. `v__l`, `v__r` in a join). This keeps sketches with
 /// many holes tractable — the natural solution assigns most holes their
 /// own variable's projection.
+///
+/// The `deadline` is polled once per weight level and once per filled
+/// candidate; expiry aborts the search as if the try budget ran out.
 pub fn solve_sketch_related(
     sketch: &Sketch,
     candidates: &[VocabEntry],
     max_tries: usize,
+    deadline: &Deadline,
     related: &dyn Fn(Sym) -> Vec<Sym>,
     check: &mut dyn FnMut(&Expr) -> bool,
 ) -> Option<(Expr, usize)> {
@@ -258,7 +270,7 @@ pub fn solve_sketch_related(
     let mut tries = 0usize;
     let mut filling: Vec<usize> = vec![0; per_hole.len()];
     for weight in 0..=max_weight {
-        if tries >= max_tries {
+        if tries >= max_tries || deadline.is_expired() {
             return None;
         }
         if let Some(found) = try_weight(
@@ -269,6 +281,7 @@ pub fn solve_sketch_related(
             &mut filling,
             &mut tries,
             max_tries,
+            deadline,
             check,
         ) {
             return Some((found, tries));
@@ -288,6 +301,7 @@ fn try_weight(
     filling: &mut Vec<usize>,
     tries: &mut usize,
     max_tries: usize,
+    deadline: &Deadline,
     check: &mut dyn FnMut(&Expr) -> bool,
 ) -> Option<Expr> {
     if *tries >= max_tries {
@@ -295,6 +309,11 @@ fn try_weight(
     }
     if pos == per_hole.len() {
         if weight != 0 {
+            return None;
+        }
+        if deadline.is_expired() {
+            // Spend the remaining budget so the weight loop also stops.
+            *tries = max_tries;
             return None;
         }
         *tries += 1;
@@ -316,6 +335,7 @@ fn try_weight(
             filling,
             tries,
             max_tries,
+            deadline,
             check,
         ) {
             return Some(found);

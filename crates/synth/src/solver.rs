@@ -245,7 +245,8 @@ impl<'p> VarSolver<'p> {
             .take(24)
             .map(|c| c.env.clone())
             .collect();
-        let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone());
+        let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone())
+            .with_deadline(self.cfg.deadline.clone());
         if let Some(expr) = drive_enum(
             &mut self.cases,
             &self.cfg,
@@ -258,7 +259,20 @@ impl<'p> VarSolver<'p> {
         ) {
             return self.accept_scalar(target, expr, tries, false, solved);
         }
+        self.record_failure(target, tries, false);
         false
+    }
+
+    /// Record the candidates burned on a variable that was never solved
+    /// (search exhausted or deadline expired), so failure reports and
+    /// "candidates tried" totals account for abandoned searches too.
+    fn record_failure(&mut self, target: Sym, tries: usize, in_loop: bool) {
+        self.stats.push(VarStats {
+            name: self.program.name(target).to_owned(),
+            tries,
+            from_sketch: false,
+            in_loop,
+        });
     }
 
     fn accept_scalar(
@@ -395,7 +409,8 @@ impl<'p> VarSolver<'p> {
                 probes.push(env);
             }
         }
-        let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone());
+        let enumerator = Enumerator::new(probes, self.cfg.enum_cfg.clone())
+            .with_deadline(self.cfg.deadline.clone());
         if let Some(expr) = drive_enum(
             &mut self.cases,
             &self.cfg,
@@ -408,6 +423,7 @@ impl<'p> VarSolver<'p> {
         ) {
             return self.accept_in_loop(target, is_array, expr, tries, false);
         }
+        self.record_failure(target, tries, true);
         false
     }
 
@@ -479,11 +495,13 @@ fn drive_sketch(
     tries: &mut usize,
 ) -> Option<Expr> {
     if cfg.threads > 1 {
-        let mut screen = BatchScreen::new(cfg.threads, cases, target, build);
+        let mut screen =
+            BatchScreen::new(cfg.threads, cases, target, build).with_deadline(cfg.deadline.clone());
         let _ = solve_sketch_related(
             sketch,
             candidates,
             cfg.max_sketch_tries,
+            &cfg.deadline,
             &|s| related(s),
             &mut |e| {
                 *tries += 1;
@@ -500,6 +518,7 @@ fn drive_sketch(
             sketch,
             candidates,
             cfg.max_sketch_tries,
+            &cfg.deadline,
             &|s| related(s),
             &mut |e| {
                 *tries += 1;
@@ -524,7 +543,8 @@ fn drive_enum(
     tries: &mut usize,
 ) -> Option<Expr> {
     if cfg.threads > 1 {
-        let mut screen = BatchScreen::new(cfg.threads, cases, target, build);
+        let mut screen =
+            BatchScreen::new(cfg.threads, cases, target, build).with_deadline(cfg.deadline.clone());
         let _ = enumerator.solve(atoms, target_ty, &mut |e| {
             *tries += 1;
             screen.offer(e)

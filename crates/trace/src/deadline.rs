@@ -1,0 +1,166 @@
+//! Cooperative wall-clock deadlines and cancellation.
+//!
+//! A [`Deadline`] is a cheap, cloneable "stop by then" value threaded
+//! through the search loops of the synthesis pipeline (normalization,
+//! sketch hole-filling, enumerative search, parallel candidate
+//! screening, CEGIS rounds). Loops poll [`Deadline::is_expired`] at
+//! candidate granularity and unwind cooperatively — no thread is ever
+//! killed, so partial statistics survive and a typed
+//! `Unparallelizable` outcome can be reported instead of a hang.
+//!
+//! A deadline may also carry a [`CancelToken`], letting an external
+//! controller abort a search early regardless of the clock.
+//!
+//! This lives in `parsynt-trace` because it is the one crate every
+//! other pipeline crate already depends on (and deadline expiry is
+//! reported through the same event stream); `parsynt-core` re-exports
+//! both types as its public robustness surface.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared flag for cooperative cancellation of a running search.
+///
+/// Cloning shares the flag; [`CancelToken::cancel`] is visible to every
+/// clone (and thus to every [`Deadline`] carrying one).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent and thread-safe.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A wall-clock budget for a search, optionally combined with a
+/// [`CancelToken`].
+///
+/// The default deadline is unlimited: [`Deadline::is_expired`] is
+/// `false` forever and polling it costs one `Option` check. With a
+/// time limit set, each poll reads `Instant::now()` — negligible next
+/// to the interpreter-backed candidate checks it gates.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+    token: Option<CancelToken>,
+}
+
+impl Deadline {
+    /// No limit: never expires (unless a token is attached and
+    /// cancelled).
+    pub fn none() -> Self {
+        Deadline::default()
+    }
+
+    /// Expire `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            expires_at: Instant::now().checked_add(budget),
+            token: None,
+        }
+    }
+
+    /// Expire at `instant`.
+    pub fn at(instant: Instant) -> Self {
+        Deadline {
+            expires_at: Some(instant),
+            token: None,
+        }
+    }
+
+    /// Attach a cancellation token; the deadline also expires when the
+    /// token is cancelled.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Whether this deadline ever limits anything (a time bound or a
+    /// token is present).
+    pub fn is_limited(&self) -> bool {
+        self.expires_at.is_some() || self.token.is_some()
+    }
+
+    /// Whether the budget is exhausted or cancellation was requested.
+    pub fn is_expired(&self) -> bool {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        match self.expires_at {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry; `None` when unlimited. Saturates at
+    /// zero once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_limited());
+        assert!(!d.is_expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.is_limited());
+        assert!(d.is_expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired_yet() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.is_expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancel_token_expires_any_deadline() {
+        let token = CancelToken::new();
+        let d = Deadline::none().with_token(token.clone());
+        assert!(d.is_limited());
+        assert!(!d.is_expired());
+        token.cancel();
+        assert!(d.is_expired());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_token() {
+        let token = CancelToken::new();
+        let a = Deadline::after(Duration::from_secs(60)).with_token(token.clone());
+        let b = a.clone();
+        token.cancel();
+        assert!(a.is_expired());
+        assert!(b.is_expired());
+    }
+}

@@ -70,6 +70,22 @@
 //! * the `synthesize/join` and `synthesize/merge` spans carry a
 //!   `fields.threads` payload with the configured screening width.
 //!
+//! Robustness events (deadlines, panic isolation, cache bounds):
+//!
+//! * `schema/deadline_exceeded` (point, `fields.reason`,
+//!   `fields.candidates`) — the synthesis [`Deadline`] expired and the
+//!   run was converted into a typed `Unparallelizable` outcome;
+//! * `execute/worker_panic` (point, `fields.chunk`, `fields.attempt`,
+//!   `fields.payload`) — a worker panicked inside `catch_unwind`; the
+//!   chunk is retried once on the coordinator;
+//! * `execute/fallback_sequential` (point, `fields.failed_chunks`) —
+//!   chunk retry also failed, so the whole plan re-ran sequentially
+//!   (the report's `degraded` flag is set);
+//! * `synthesize/eval_cache_evictions` (counter) — times the bounded
+//!   `EvalCache` overflowed its capacity and was cleared wholesale;
+//! * `synthesize/screen_panic` (counter) — candidates whose screening
+//!   closure panicked (the candidate is treated as rejected).
+//!
 //! ## Usage
 //!
 //! ```
@@ -94,8 +110,10 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+pub mod deadline;
 pub mod sinks;
 
+pub use deadline::{CancelToken, Deadline};
 pub use sinks::{CollectingSink, FanoutSink, NullSink, PhaseAggregator, WriterSink};
 
 /// Declarative tracing options for a pipeline run.

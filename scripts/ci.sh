@@ -16,4 +16,7 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo test (fault injection) =="
+cargo test --features fault-inject -q
+
 echo "CI gate passed."

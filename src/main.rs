@@ -30,8 +30,8 @@
 //! synthesis engine; deterministic, 1 = fully sequential).
 
 use parsynt::core::{
-    proof_obligations, run_divide_and_conquer, run_map_only, Outcome, Parallelization, Pipeline,
-    PipelineReport,
+    proof_obligations, run_divide_and_conquer_checked, run_map_only_checked, Outcome,
+    Parallelization, Pipeline, PipelineReport,
 };
 use parsynt::lang::interp::run_program;
 use parsynt::lang::pretty::program_to_string;
@@ -69,6 +69,11 @@ enum CliError {
     Synthesis(String),
     /// Executing or checking a synthesized plan failed.
     Exec(String),
+    /// The synthesis search hit its `--timeout-ms` deadline.
+    DeadlineExceeded(String),
+    /// A worker panicked during execution and the run degraded to the
+    /// sequential fallback (results were still produced and verified).
+    Degraded(String),
 }
 
 impl fmt::Display for CliError {
@@ -79,6 +84,8 @@ impl fmt::Display for CliError {
             CliError::Parse(msg) => write!(f, "{msg}"),
             CliError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
             CliError::Exec(msg) => write!(f, "{msg}"),
+            CliError::DeadlineExceeded(msg) => write!(f, "synthesis deadline exceeded: {msg}"),
+            CliError::Degraded(msg) => write!(f, "execution degraded: {msg}"),
         }
     }
 }
@@ -91,6 +98,8 @@ impl CliError {
             CliError::Parse(_) => 4,
             CliError::Synthesis(_) => 5,
             CliError::Exec(_) => 6,
+            CliError::DeadlineExceeded(_) => 7,
+            CliError::Degraded(_) => 8,
         }
     }
 }
@@ -141,7 +150,19 @@ Observability (parallelize / run / check / bench):
 
 Synthesis (parallelize / run / check / bench):
   --synth-threads N  screen join/merge candidates on N worker threads
-                     (deterministic; 1 = sequential CEGIS, the default)";
+                     (deterministic; 1 = sequential CEGIS, the default)
+
+Robustness (parallelize / run / check / bench):
+  --timeout-ms T  bound the synthesis search to a wall-clock deadline;
+                  when it expires the loop is reported unparallelizable
+                  with a `deadline exceeded` reason and exit code 7
+
+Exit codes:
+  0 success                2 usage      3 io      4 parse
+  5 synthesis failed       6 execution/check failed
+  7 synthesis deadline exceeded (--timeout-ms)
+  8 execution degraded: a worker panicked and the run fell back to the
+    sequential interpreter (results were still produced and verified)";
 
 /// Flags that consume a value.
 const VALUE_FLAGS: &[&str] = &[
@@ -155,6 +176,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace",
     "--grain",
     "--synth-threads",
+    "--timeout-ms",
 ];
 /// Boolean switches.
 const SWITCHES: &[&str] = &["--brackets", "--json"];
@@ -254,7 +276,23 @@ fn config_from(cli: &Cli) -> Result<SynthConfig, CliError> {
     if let Some(threads) = cli.parsed::<usize>("--synth-threads")? {
         cfg = cfg.with_threads(threads);
     }
+    if let Some(ms) = cli.parsed::<u64>("--timeout-ms")? {
+        cfg = cfg.with_timeout_ms(ms);
+    }
     Ok(cfg)
+}
+
+/// Map a deadline-cut report onto its dedicated exit code; commands
+/// call this after printing the (partial) report.
+fn deadline_check(report: &PipelineReport) -> Result<(), CliError> {
+    if report.report().deadline_exceeded {
+        let reason = match &report.parallelization.outcome {
+            Outcome::Unparallelizable { reason } => reason.clone(),
+            _ => "deadline exceeded".to_owned(),
+        };
+        return Err(CliError::DeadlineExceeded(reason));
+    }
+    Ok(())
 }
 
 /// Open the `--trace` sink, if requested.
@@ -334,9 +372,10 @@ fn cmd_parallelize(cli: &Cli) -> Result<(), CliError> {
     )?;
     if cli.switch("--json") {
         println!("{}", report.to_json_pretty());
-        return Ok(());
+        return deadline_check(&report);
     }
     print_plan(&report.parallelization);
+    deadline_check(&report)?;
     if !report.parallelization.is_unparallelizable() {
         println!("\n{}", proof_obligations(&report.parallelization));
     }
@@ -360,6 +399,7 @@ fn cmd_run(cli: &Cli) -> Result<(), CliError> {
     if !json {
         print_plan(plan);
     }
+    deadline_check(&report)?;
 
     // Generate a random input of the program's main-input type.
     let profile = profile_from(cli)?
@@ -378,30 +418,34 @@ fn cmd_run(cli: &Cli) -> Result<(), CliError> {
     });
     let sequential =
         run_program(&plan.program, &inputs).map_err(|e| CliError::Exec(e.to_string()))?;
-    let parallel = match &plan.outcome {
-        Outcome::DivideAndConquer { .. } => run_divide_and_conquer(plan, &inputs, threads)
+    let exec = match &plan.outcome {
+        Outcome::DivideAndConquer { .. } => run_divide_and_conquer_checked(plan, &inputs, threads)
             .map_err(|e| CliError::Exec(e.to_string()))?,
-        Outcome::MapOnly => {
-            run_map_only(plan, &inputs, threads).map_err(|e| CliError::Exec(e.to_string()))?
-        }
+        Outcome::MapOnly => run_map_only_checked(plan, &inputs, threads)
+            .map_err(|e| CliError::Exec(e.to_string()))?,
         Outcome::Unparallelizable { reason } => {
             return Err(CliError::Exec(format!("nothing to run: {reason}")))
         }
     };
-    if parallel != sequential {
+    if exec.state != sequential {
         return Err(CliError::Exec(
             "parallel result differs from sequential!".to_owned(),
         ));
     }
     if json {
         println!("{}", report.to_json_pretty());
-        return Ok(());
-    }
-    println!("\nexecuted on {threads} threads over a random {rows}-row input: results agree ✓");
-    for (sym, value) in sequential.entries() {
-        if plan.program.returns.contains(sym) {
-            println!("  {} = {}", plan.program.name(*sym), value);
+    } else {
+        println!("\nexecuted on {threads} threads over a random {rows}-row input: results agree ✓");
+        for (sym, value) in sequential.entries() {
+            if plan.program.returns.contains(sym) {
+                println!("  {} = {}", plan.program.name(*sym), value);
+            }
         }
+    }
+    if exec.degraded {
+        return Err(CliError::Degraded(
+            "a worker panicked; results recovered via the sequential fallback".to_owned(),
+        ));
     }
     Ok(())
 }
@@ -416,6 +460,7 @@ fn cmd_check(cli: &Cli) -> Result<(), CliError> {
         config_from(cli)?,
         sink.as_ref(),
     )?;
+    deadline_check(&report)?;
     if !report.parallelization.is_divide_and_conquer() {
         return Err(CliError::Exec(
             "no join to check (not a divide-and-conquer plan)".to_owned(),
@@ -468,6 +513,12 @@ fn cmd_bench(cli: &Cli) -> Result<(), CliError> {
     if !json {
         println!("benchmark: {} ({})", b.id, b.display);
         print_plan(&report.parallelization);
+    }
+    if report.report().deadline_exceeded {
+        if json {
+            println!("{}", report.to_json_pretty());
+        }
+        return deadline_check(&report);
     }
 
     // Execute the native workload (when one is registered) on the

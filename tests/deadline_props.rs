@@ -1,0 +1,45 @@
+//! Deadline responsiveness: a pipeline whose synthesis deadline has
+//! already expired must return promptly — on *any* program — with a
+//! typed `deadline exceeded` outcome instead of searching. This is the
+//! liveness half of the deadline contract; `schema::deadline` tests
+//! cover the accounting half.
+
+use parsynt::core::Pipeline;
+use parsynt::lang::parse;
+use parsynt::suite::all_benchmarks;
+use parsynt::synth::report::SynthConfig;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// An already-expired deadline cuts the search off before any
+    /// candidate is tried: the run finishes well under 100ms even on
+    /// the heaviest benchmarks, and reports the cut in its outcome.
+    #[test]
+    fn expired_deadline_returns_promptly(bench_idx in 0usize..64, seed in 0u64..1_000) {
+        let benches = all_benchmarks();
+        let b = &benches[bench_idx % benches.len()];
+        let program = parse(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.id));
+        let cfg = SynthConfig::default().with_seed(seed).with_timeout_ms(0);
+        let started = Instant::now();
+        let report = Pipeline::new(&program)
+            .profile(b.profile.clone())
+            .config(cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", b.id));
+        let elapsed = started.elapsed();
+        prop_assert!(
+            elapsed < Duration::from_millis(100),
+            "{}: expired-deadline run took {elapsed:?}",
+            b.id
+        );
+        // The cut is visible in the report, not silently absorbed.
+        prop_assert!(
+            report.report().deadline_exceeded,
+            "{}: deadline cut not reported",
+            b.id
+        );
+    }
+}

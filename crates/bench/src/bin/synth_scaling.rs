@@ -14,7 +14,7 @@
 //! Writes `BENCH_synth.json` (override with `--json`).
 
 use parsynt_bench::row;
-use parsynt_core::{Outcome, Pipeline};
+use parsynt_core::{Outcome, Pipeline, PipelineConfig};
 use parsynt_lang::parse;
 use parsynt_suite::{all_benchmarks, Benchmark};
 use parsynt_synth::report::SynthConfig;
@@ -51,8 +51,11 @@ struct Run {
 fn run_once(b: &Benchmark, threads: usize) -> Run {
     let program = parse(b.source).expect("benchmark parses");
     let report = Pipeline::new(&program)
-        .profile(b.profile.clone())
-        .config(SynthConfig::default().with_threads(threads))
+        .configure(
+            PipelineConfig::default()
+                .with_profile(b.profile.clone())
+                .with_synth(SynthConfig::default().with_threads(threads)),
+        )
         .run()
         .unwrap_or_else(|e| panic!("pipeline error on {}: {e}", b.id));
     let plan = &report.parallelization;

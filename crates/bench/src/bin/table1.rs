@@ -10,7 +10,7 @@
 //!
 //! Usage: `table1 [--filter substring] [--json out.json]`
 
-use parsynt_core::{Outcome, Pipeline};
+use parsynt_core::{Outcome, Pipeline, PipelineConfig};
 use parsynt_lang::parse;
 use parsynt_suite::{all_benchmarks, ExpectedOutcome};
 use parsynt_synth::report::SynthConfig;
@@ -75,8 +75,11 @@ fn main() {
         let program = parse(b.source).expect("benchmark parses");
         let cfg = SynthConfig::default();
         let report = Pipeline::new(&program)
-            .profile(b.profile.clone())
-            .config(cfg)
+            .configure(
+                PipelineConfig::default()
+                    .with_profile(b.profile.clone())
+                    .with_synth(cfg),
+            )
             .run()
             .unwrap_or_else(|e| panic!("pipeline error on {}: {e}", b.id));
         let result = &report.parallelization;

@@ -1,0 +1,276 @@
+//! Content-addressed solution cache: in-memory LRU plus optional
+//! versioned on-disk persistence.
+//!
+//! Keys are [`crate::fingerprint::fingerprint`] values of the
+//! normalized program; values are complete, serializable
+//! [`CachedSolution`]s — the final [`Parallelization`] plus the
+//! rendered plan — so a hit re-serves a previous synthesis without
+//! re-running any of it, across process restarts.
+//!
+//! Disk layout (wasmtime-style versioned artifact dir):
+//!
+//! ```text
+//! <cache_dir>/
+//!   v<CACHE_VERSION>/
+//!     <fingerprint-hex16>.json
+//! ```
+//!
+//! The version segment bakes in the crate version and a hand-bumped
+//! rule-set revision: any change to the rewrite rules, the fingerprint
+//! function, or the serialized shape lands in a fresh directory, so
+//! stale entries are never deserialized — they are simply orphaned.
+
+use crate::fingerprint::fingerprint_hex;
+use crate::schema::Parallelization;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bump when the rewrite rule set, the fingerprint function, or the
+/// serialized solution shape changes incompatibly.
+pub const RULESET_REVISION: u32 = 1;
+
+/// The cache-format version segment: crate version × rule-set revision.
+pub fn cache_version() -> String {
+    format!("{}-r{}", env!("CARGO_PKG_VERSION"), RULESET_REVISION)
+}
+
+/// A complete cached synthesis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedSolution {
+    /// The fingerprint this solution was stored under (hex, for
+    /// self-description of on-disk files).
+    pub fingerprint: String,
+    /// The full parallelization: final program, outcome (including any
+    /// synthesized join), and the Table-1 report.
+    pub parallelization: Parallelization,
+    /// The rendered plan, byte-for-byte as first produced.
+    pub plan: String,
+    /// Seed the original synthesis ran under.
+    pub seed: u64,
+}
+
+/// Counters exposed through `/stats` and the CLI.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// In-memory entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident in memory.
+    pub resident: u64,
+}
+
+/// In-memory LRU over fingerprints, with optional disk persistence.
+#[derive(Debug)]
+pub struct SolutionCache {
+    inner: Mutex<Lru>,
+    /// `<cache_dir>/v<version>`; entries are written here if set.
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Lru {
+    entries: HashMap<u64, CachedSolution>,
+    /// Least-recently-used first.
+    order: Vec<u64>,
+    capacity: usize,
+}
+
+impl Lru {
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push(key);
+    }
+}
+
+/// Default in-memory entry bound. Solutions are small (a program AST
+/// plus a join body); hundreds are cheap, and the disk tier holds the
+/// long tail.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+impl SolutionCache {
+    /// A memory-only cache (no persistence).
+    pub fn in_memory(capacity: usize) -> Self {
+        SolutionCache {
+            inner: Mutex::new(Lru {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                capacity: capacity.max(1),
+            }),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache persisted under `cache_dir` (in its versioned
+    /// subdirectory, which is created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the versioned directory cannot be created.
+    pub fn persistent(cache_dir: &Path, capacity: usize) -> io::Result<Self> {
+        let dir = cache_dir.join(format!("v{}", cache_version()));
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = SolutionCache::in_memory(capacity);
+        cache.dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// The versioned directory entries are persisted in, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn entry_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", fingerprint_hex(key))))
+    }
+
+    /// Look up a fingerprint: memory first, then disk. A disk hit is
+    /// promoted into memory.
+    pub fn lookup(&self, key: u64) -> Option<CachedSolution> {
+        {
+            let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(found) = lru.entries.get(&key).cloned() {
+                lru.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(found);
+            }
+        }
+        if let Some(path) = self.entry_path(key) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(solution) = serde_json::from_str::<CachedSolution>(&text) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.insert_memory(key, solution.clone());
+                    return Some(solution);
+                }
+                // Unreadable entry: drop it rather than serving garbage.
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a solution in memory and, if persistent, on disk
+    /// (atomically: temp file + rename).
+    pub fn insert(&self, key: u64, solution: CachedSolution) {
+        if let Some(path) = self.entry_path(key) {
+            if let Ok(text) = serde_json::to_string(&solution) {
+                let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+                if std::fs::write(&tmp, text).is_ok() {
+                    let _ = std::fs::rename(&tmp, &path);
+                }
+            }
+        }
+        self.insert_memory(key, solution);
+    }
+
+    fn insert_memory(&self, key: u64, solution: CachedSolution) {
+        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if lru.entries.insert(key, solution).is_none() && lru.entries.len() > lru.capacity {
+            let victim = lru.order.remove(0);
+            lru.entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        lru.touch(key);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let resident = {
+            let lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            lru.entries.len() as u64
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Outcome, Report};
+    use parsynt_lang::parse;
+
+    fn sample_solution(tag: &str) -> CachedSolution {
+        let program = parse(
+            "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s + a[i]; }",
+        )
+        .unwrap();
+        CachedSolution {
+            fingerprint: tag.to_owned(),
+            parallelization: Parallelization {
+                program,
+                outcome: Outcome::MapOnly,
+                report: Report::default(),
+            },
+            plan: format!("plan-{tag}"),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn memory_lru_evicts_least_recently_used() {
+        let cache = SolutionCache::in_memory(2);
+        cache.insert(1, sample_solution("1"));
+        cache.insert(2, sample_solution("2"));
+        assert!(cache.lookup(1).is_some()); // 1 is now more recent than 2
+        cache.insert(3, sample_solution("3"));
+        assert!(cache.lookup(2).is_none(), "2 was the LRU victim");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident, 2);
+    }
+
+    #[test]
+    fn disk_entries_survive_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("parsynt-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = SolutionCache::persistent(&dir, 4).unwrap();
+            cache.insert(77, sample_solution("77"));
+        }
+        let reopened = SolutionCache::persistent(&dir, 4).unwrap();
+        let found = reopened.lookup(77).expect("persisted entry");
+        assert_eq!(found.plan, "plan-77");
+        assert_eq!(reopened.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_segment_partitions_the_directory() {
+        let dir = std::env::temp_dir().join(format!("parsynt-cache-ver-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SolutionCache::persistent(&dir, 4).unwrap();
+        let sub = cache.dir().unwrap().to_path_buf();
+        assert!(sub.starts_with(&dir));
+        assert!(sub
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with(&format!("v{}", env!("CARGO_PKG_VERSION"))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

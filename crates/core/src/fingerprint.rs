@@ -1,0 +1,338 @@
+//! Content-addressed fingerprints of a program's normalized form.
+//!
+//! The paper's observation is that a loop's *normalized functional
+//! form* — not its surface text — determines its divide-and-conquer
+//! parallelization. The fingerprint realizes that as a stable 64-bit
+//! key:
+//!
+//! 1. **Symbol canonicalization** erases names: inputs are renumbered
+//!    in declaration order, then state variables, then loop/`let`
+//!    variables in body order. `for i`, `for idx` and `for qq` all
+//!    fingerprint identically.
+//! 2. **Expression normalization** erases surface algebra: every
+//!    expression is constant-folded and chains of
+//!    associative-commutative operators are flattened and sorted by
+//!    their own content hash, so `s + a[i][j]` and `a[i][j] + s` agree.
+//! 3. **Structural hashing** folds statements, declarations, types and
+//!    the return list through the same SplitMix64 mixer that
+//!    [`parsynt_synth::intern::TermPool::content_hash`] uses, with
+//!    expressions hashed through an actual [`TermPool`].
+//!
+//! The result is the lookup key of [`crate::cache::SolutionCache`] —
+//! stable across processes, platforms and interning orders.
+
+use parsynt_lang::ast::{BinOp, Expr, LValue, Program, Stmt, Sym};
+use parsynt_lang::Ty;
+use parsynt_rewrite::rules::constant_fold;
+use parsynt_synth::intern::TermPool;
+use std::collections::HashMap;
+
+/// One SplitMix64 mixing round folding `word` into `acc` (the same
+/// mixer as `TermPool::content_hash`, re-stated here because the two
+/// crates deliberately do not share private helpers).
+fn fold(acc: u64, word: u64) -> u64 {
+    let mut z = acc.wrapping_add(word).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Statement / structure discriminants. Fixed forever (cache format).
+const TAG_LET: u64 = 0x11;
+const TAG_ASSIGN: u64 = 0x12;
+const TAG_IF: u64 = 0x13;
+const TAG_FOR: u64 = 0x14;
+const TAG_BLOCK_END: u64 = 0x15;
+const TAG_INPUT: u64 = 0x21;
+const TAG_STATE: u64 = 0x22;
+const TAG_RETURNS: u64 = 0x23;
+const TAG_TY_INT: u64 = 0x31;
+const TAG_TY_BOOL: u64 = 0x32;
+const TAG_TY_SEQ: u64 = 0x33;
+
+/// Canonical renumbering of a program's symbols, independent of the
+/// interner's insertion order and of every identifier's spelling.
+struct Canon {
+    map: HashMap<Sym, u32>,
+    next: u32,
+}
+
+impl Canon {
+    fn new(program: &Program) -> Self {
+        let mut canon = Canon {
+            map: HashMap::new(),
+            next: 0,
+        };
+        for input in &program.inputs {
+            canon.assign(input.name);
+        }
+        for state in &program.state {
+            canon.assign(state.name);
+        }
+        canon
+    }
+
+    fn assign(&mut self, sym: Sym) -> u32 {
+        let next = &mut self.next;
+        *self.map.entry(sym).or_insert_with(|| {
+            let id = *next;
+            *next += 1;
+            id
+        })
+    }
+
+    fn get(&mut self, sym: Sym) -> u32 {
+        // Symbols first seen inside an expression (pathological but
+        // possible for unchecked programs) are assigned on first use,
+        // which is itself deterministic in traversal order.
+        self.assign(sym)
+    }
+}
+
+/// Normalize an expression: constant-fold, canonically renumber
+/// variables, and sort the operand chains of associative-commutative
+/// operators by content hash.
+fn normal_form(e: &Expr, canon: &mut Canon, pool: &mut TermPool) -> Expr {
+    let folded = constant_fold(e);
+    ac_sorted(&renumber(&folded, canon), pool)
+}
+
+/// Rewrite every `Var` to its canonical number.
+fn renumber(e: &Expr, canon: &mut Canon) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) => e.clone(),
+        Expr::Var(s) => Expr::Var(Sym(canon.get(*s))),
+        Expr::Index(b, i) => {
+            Expr::Index(Box::new(renumber(b, canon)), Box::new(renumber(i, canon)))
+        }
+        Expr::Len(x) => Expr::Len(Box::new(renumber(x, canon))),
+        Expr::Zeros(x) => Expr::Zeros(Box::new(renumber(x, canon))),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(renumber(x, canon))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(renumber(a, canon)),
+            Box::new(renumber(b, canon)),
+        ),
+        Expr::Ite(c, t, e2) => Expr::Ite(
+            Box::new(renumber(c, canon)),
+            Box::new(renumber(t, canon)),
+            Box::new(renumber(e2, canon)),
+        ),
+    }
+}
+
+/// Flatten chains of one associative-commutative operator.
+fn flatten_ac(e: &Expr, op: BinOp, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary(o, a, b) if *o == op => {
+            flatten_ac(a, op, out);
+            flatten_ac(b, op, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Recursively sort AC-operator operand chains into hash order.
+fn ac_sorted(e: &Expr, pool: &mut TermPool) -> Expr {
+    match e {
+        Expr::Binary(op, _, _) if op.is_associative() && op.is_commutative() => {
+            let mut operands = Vec::new();
+            flatten_ac(e, *op, &mut operands);
+            let mut sorted: Vec<(u64, Expr)> = operands
+                .iter()
+                .map(|operand| {
+                    let normalized = ac_sorted(operand, pool);
+                    let id = pool.intern_expr(&normalized);
+                    (pool.content_hash(id), normalized)
+                })
+                .collect();
+            sorted.sort_by_key(|(hash, _)| *hash);
+            let mut iter = sorted.into_iter().map(|(_, operand)| operand);
+            let first = iter.next().expect("AC chain has at least two operands");
+            iter.fold(first, |acc, operand| Expr::bin(*op, acc, operand))
+        }
+        Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => e.clone(),
+        Expr::Index(b, i) => {
+            Expr::Index(Box::new(ac_sorted(b, pool)), Box::new(ac_sorted(i, pool)))
+        }
+        Expr::Len(x) => Expr::Len(Box::new(ac_sorted(x, pool))),
+        Expr::Zeros(x) => Expr::Zeros(Box::new(ac_sorted(x, pool))),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(ac_sorted(x, pool))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(ac_sorted(a, pool)),
+            Box::new(ac_sorted(b, pool)),
+        ),
+        Expr::Ite(c, t, e2) => Expr::Ite(
+            Box::new(ac_sorted(c, pool)),
+            Box::new(ac_sorted(t, pool)),
+            Box::new(ac_sorted(e2, pool)),
+        ),
+    }
+}
+
+fn hash_expr(acc: u64, e: &Expr, canon: &mut Canon, pool: &mut TermPool) -> u64 {
+    let normalized = normal_form(e, canon, pool);
+    let id = pool.intern_expr(&normalized);
+    fold(acc, pool.content_hash(id))
+}
+
+fn hash_ty(acc: u64, ty: &Ty) -> u64 {
+    match ty {
+        Ty::Int => fold(acc, TAG_TY_INT),
+        Ty::Bool => fold(acc, TAG_TY_BOOL),
+        Ty::Seq(inner) => hash_ty(fold(acc, TAG_TY_SEQ), inner),
+    }
+}
+
+fn hash_lvalue(acc: u64, lv: &LValue, canon: &mut Canon, pool: &mut TermPool) -> u64 {
+    let mut acc = fold(acc, canon.get(lv.base) as u64);
+    acc = fold(acc, lv.indices.len() as u64);
+    for idx in &lv.indices {
+        acc = hash_expr(acc, idx, canon, pool);
+    }
+    acc
+}
+
+fn hash_stmts(acc: u64, stmts: &[Stmt], canon: &mut Canon, pool: &mut TermPool) -> u64 {
+    let mut acc = acc;
+    for stmt in stmts {
+        acc = match stmt {
+            Stmt::Let { name, ty, init } => {
+                let a = fold(acc, TAG_LET);
+                let a = fold(a, canon.assign(*name) as u64);
+                let a = hash_ty(a, ty);
+                hash_expr(a, init, canon, pool)
+            }
+            Stmt::Assign { target, value } => {
+                let a = fold(acc, TAG_ASSIGN);
+                let a = hash_lvalue(a, target, canon, pool);
+                hash_expr(a, value, canon, pool)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let a = fold(acc, TAG_IF);
+                let a = hash_expr(a, cond, canon, pool);
+                let a = hash_stmts(a, then_branch, canon, pool);
+                let a = fold(a, TAG_BLOCK_END);
+                let a = hash_stmts(a, else_branch, canon, pool);
+                fold(a, TAG_BLOCK_END)
+            }
+            Stmt::For { var, bound, body } => {
+                let a = fold(acc, TAG_FOR);
+                let a = fold(a, canon.assign(*var) as u64);
+                let a = hash_expr(a, bound, canon, pool);
+                let a = hash_stmts(a, body, canon, pool);
+                fold(a, TAG_BLOCK_END)
+            }
+        };
+    }
+    acc
+}
+
+/// Stable 64-bit fingerprint of `program`'s normalized form.
+///
+/// Two programs fingerprint identically iff they agree after name
+/// erasure, constant folding, and AC-normalization — the equivalence
+/// the solution cache is allowed to exploit. Semantically different
+/// programs collide only with generic 64-bit-hash probability.
+pub fn fingerprint(program: &Program) -> u64 {
+    let mut canon = Canon::new(program);
+    let mut pool = TermPool::new();
+    let mut acc = 0x50_41_52_53_59_4e_54_00; // "PARSYNT\0"
+
+    acc = fold(acc, program.inputs.len() as u64);
+    for input in &program.inputs {
+        let a = fold(acc, TAG_INPUT);
+        let a = fold(a, canon.get(input.name) as u64);
+        acc = hash_ty(a, &input.ty);
+    }
+
+    acc = fold(acc, program.state.len() as u64);
+    for state in &program.state {
+        let a = fold(acc, TAG_STATE);
+        let a = fold(a, canon.get(state.name) as u64);
+        let a = hash_ty(a, &state.ty);
+        acc = hash_expr(a, &state.init, &mut canon, &mut pool);
+    }
+
+    acc = hash_stmts(acc, &program.body, &mut canon, &mut pool);
+
+    acc = fold(acc, TAG_RETURNS);
+    acc = fold(acc, program.returns.len() as u64);
+    for ret in &program.returns {
+        acc = fold(acc, canon.get(*ret) as u64);
+    }
+
+    acc
+}
+
+/// Render a fingerprint as the fixed-width hex token used in cache
+/// file names and trace fields.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsynt_lang::parse;
+
+    const SUM: &str = "input a : seq<seq<int>>; state s : int = 0;\n\
+         for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }";
+
+    #[test]
+    fn renaming_and_commutation_preserve_the_fingerprint() {
+        // Same normal form: different identifiers, flipped `+` operands,
+        // different whitespace, and a foldable initializer.
+        let variant = "input xs : seq<seq<int>>;\n\
+             state total : int = 1 - 1;\n\
+             for outer in 0 .. len(xs) {\n\
+               for inner in 0 .. len(xs[outer]) { total = xs[outer][inner] + total; }\n\
+             }";
+        let p1 = parse(SUM).unwrap();
+        let p2 = parse(variant).unwrap();
+        assert_eq!(fingerprint(&p1), fingerprint(&p2));
+    }
+
+    #[test]
+    fn semantic_changes_change_the_fingerprint() {
+        let different = [
+            // max instead of +
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = max(s, a[i][j]); } }",
+            // different initializer
+            "input a : seq<seq<int>>; state s : int = 7;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+            // extra state variable
+            "input a : seq<seq<int>>; state s : int = 0; state c : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; c = c + 1; } }",
+        ];
+        let base = fingerprint(&parse(SUM).unwrap());
+        for src in different {
+            assert_ne!(base, fingerprint(&parse(src).unwrap()), "{src}");
+        }
+    }
+
+    #[test]
+    fn non_commutative_operands_are_order_sensitive() {
+        let sub_lr = "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = s - a[i]; }";
+        let sub_rl = "input a : seq<int>; state s : int = 0;\n\
+             for i in 0 .. len(a) { s = a[i] - s; }";
+        assert_ne!(
+            fingerprint(&parse(sub_lr).unwrap()),
+            fingerprint(&parse(sub_rl).unwrap())
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_across_calls() {
+        let p = parse(SUM).unwrap();
+        assert_eq!(fingerprint(&p), fingerprint(&p));
+        assert_eq!(fingerprint_hex(fingerprint(&p)).len(), 16);
+    }
+}

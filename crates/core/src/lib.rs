@@ -42,19 +42,25 @@
 //! no longer re-exported at the crate root.
 
 pub mod budget;
+pub mod cache;
 pub mod exec;
+pub mod fingerprint;
 pub mod pipeline;
 pub mod proof;
 pub mod schema;
 
 pub use budget::{budget_of, validate_budget, Budget};
+pub use cache::{CacheStats, CachedSolution, SolutionCache};
 pub use exec::{
     run_divide_and_conquer, run_divide_and_conquer_checked, run_map_only, run_map_only_checked,
     ExecOutcome,
 };
+pub use fingerprint::{fingerprint, fingerprint_hex};
 pub use parsynt_runtime::{Backend, RunConfig};
 pub use parsynt_trace::TraceConfig;
 pub use parsynt_trace::{CancelToken, Deadline};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, PipelineReportJson, SearchBudget};
+pub use pipeline::{
+    Pipeline, PipelineConfig, PipelineReport, PipelineReportJson, SearchBudget, SCHEMA_VERSION,
+};
 pub use proof::{check_homomorphism_law_exhaustive, check_join_associativity, proof_obligations};
 pub use schema::{Outcome, Parallelization, Report};

@@ -8,18 +8,32 @@
 //! [`parsynt_trace`] events to an optional user sink and folded into the
 //! [`PipelineReport`]'s `phase_timings` / `counters`.
 //!
+//! A run is configured through exactly one surface, [`PipelineConfig`],
+//! applied with [`Pipeline::configure`]:
+//!
 //! ```
-//! use parsynt_core::Pipeline;
+//! use parsynt_core::{Pipeline, PipelineConfig};
 //! let p = parsynt_lang::parse(
 //!     "input a : seq<seq<int>>; state s : int = 0;\n\
 //!      for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
 //! ).unwrap();
-//! let report = Pipeline::new(&p).run().unwrap();
+//! let report = Pipeline::new(&p)
+//!     .configure(PipelineConfig::default().with_seed(7))
+//!     .run()
+//!     .unwrap();
 //! assert!(report.parallelization.is_divide_and_conquer());
 //! assert!(report.phase_timings.contains_key("total"));
 //! ```
+//!
+//! Attaching a [`SolutionCache`] with [`Pipeline::cache`] short-circuits
+//! the run when the program's normalized-form [`crate::fingerprint`] has
+//! been solved before: the cached [`Parallelization`] and plan are
+//! re-served without any synthesis, and the report carries a
+//! `cache.hit` counter and no synthesis phase timings.
 
+use crate::cache::{CachedSolution, SolutionCache};
 use crate::exec::{run_divide_and_conquer_checked, run_map_only_checked};
+use crate::fingerprint::{fingerprint, fingerprint_hex};
 use crate::proof::homomorphism_law_checks;
 use crate::schema::{run_schema, Outcome, Parallelization, Report};
 use parsynt_lang::ast::Program;
@@ -36,6 +50,12 @@ use serde::{Deserialize, Serialize, Serializer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Version of the [`PipelineReportJson`] wire format. Bumped whenever a
+/// field is added, removed, or changes meaning; consumers (the CLI's
+/// `--json` output and the daemon's responses share this one shape)
+/// should reject versions they do not understand.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// A coarse cap on the synthesis search, applied on top of whatever
 /// [`SynthConfig`] the pipeline carries. Named `SearchBudget` to keep it
@@ -82,16 +102,20 @@ impl SearchBudget {
 
 /// The unified configuration surface of a pipeline run: what to
 /// synthesize with ([`SynthConfig`]), how to execute the result
-/// ([`RunConfig`]), and what to observe ([`TraceConfig`]).
+/// ([`RunConfig`]), what to observe ([`TraceConfig`]), which input
+/// distribution to verify against ([`InputProfile`]), and an optional
+/// [`SearchBudget`] cap.
 ///
 /// ```
-/// use parsynt_core::PipelineConfig;
+/// use parsynt_core::{PipelineConfig, SearchBudget};
 /// let cfg = PipelineConfig::default()
 ///     .with_synth_threads(4)
 ///     .with_run_threads(8)
+///     .with_budget(SearchBudget::quick())
 ///     .with_seed(7);
 /// assert_eq!(cfg.synth.threads, 4);
 /// assert_eq!(cfg.run.threads, 8);
+/// assert!(cfg.budget.is_some());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PipelineConfig {
@@ -102,6 +126,12 @@ pub struct PipelineConfig {
     pub run: RunConfig,
     /// Tracing options (JSONL event stream).
     pub trace: TraceConfig,
+    /// Shape/value distribution used for example generation and bounded
+    /// verification.
+    pub profile: InputProfile,
+    /// Optional coarse search cap; overrides the corresponding `synth`
+    /// fields at [`Pipeline::run`] time.
+    pub budget: Option<SearchBudget>,
 }
 
 impl PipelineConfig {
@@ -120,6 +150,20 @@ impl PipelineConfig {
     /// Replace the tracing configuration.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Set the input profile (shape/value distribution for bounded
+    /// verification).
+    pub fn with_profile(mut self, profile: InputProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Cap the synthesis search; overrides the corresponding
+    /// [`SynthConfig`] fields at [`Pipeline::run`] time.
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -146,13 +190,20 @@ impl PipelineConfig {
     /// Bound the synthesis search with a [`parsynt_trace::Deadline`];
     /// when it expires the run reports `Unparallelizable` with a
     /// `deadline exceeded` reason instead of searching further.
+    ///
+    /// There is exactly one deadline slot: this method and
+    /// [`PipelineConfig::with_timeout_ms`] both write it, and the **last
+    /// call wins** — `with_timeout_ms(5).with_deadline(Deadline::none())`
+    /// is unlimited, and `with_deadline(d).with_timeout_ms(5)` is a 5 ms
+    /// budget regardless of `d`.
     pub fn with_deadline(mut self, deadline: parsynt_trace::Deadline) -> Self {
         self.synth = self.synth.with_deadline(deadline);
         self
     }
 
     /// Shorthand for [`PipelineConfig::with_deadline`] with a deadline
-    /// of `ms` milliseconds from now.
+    /// of `ms` milliseconds from now. Shares the single deadline slot
+    /// with `with_deadline` — the last call wins.
     pub fn with_timeout_ms(mut self, ms: u64) -> Self {
         self.synth = self.synth.with_timeout_ms(ms);
         self
@@ -162,43 +213,55 @@ impl PipelineConfig {
 /// Builder for one observable schema run over a borrowed program.
 ///
 /// Construction is cheap; nothing happens until [`Pipeline::run`].
+/// The canonical form is `Pipeline::new(program).configure(cfg).run()`;
+/// everything a run needs besides the program, a sink, and a cache
+/// lives in the [`PipelineConfig`].
 pub struct Pipeline<'p> {
     program: &'p Program,
-    profile: InputProfile,
     config: PipelineConfig,
-    budget: Option<SearchBudget>,
     sink: Option<Arc<dyn TraceSink>>,
+    cache: Option<Arc<SolutionCache>>,
 }
 
 impl<'p> Pipeline<'p> {
-    /// A pipeline over `program` with the default profile and config.
+    /// A pipeline over `program` with the default configuration.
     pub fn new(program: &'p Program) -> Self {
         Pipeline {
             program,
-            profile: InputProfile::default(),
             config: PipelineConfig::default(),
-            budget: None,
             sink: None,
+            cache: None,
         }
     }
 
     /// Set the input profile (shape/value distribution for bounded
     /// verification).
+    #[deprecated(
+        since = "0.3.0",
+        note = "the profile is part of `PipelineConfig` now: \
+                `.configure(PipelineConfig::default().with_profile(p))`"
+    )]
     pub fn profile(mut self, profile: InputProfile) -> Self {
-        self.profile = profile;
+        self.config.profile = profile;
         self
     }
 
-    /// Set the synthesis configuration, keeping the run/trace parts of
-    /// the pipeline config. Use [`Pipeline::configure`] to set all
-    /// three at once.
+    /// Set the synthesis configuration, keeping the other parts of the
+    /// pipeline config.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `.configure(PipelineConfig::default().with_synth(cfg))` \
+                — `configure` is the single entry point"
+    )]
     pub fn config(mut self, config: SynthConfig) -> Self {
         self.config.synth = config;
         self
     }
 
-    /// Set the full [`PipelineConfig`] (synthesis + execution +
-    /// tracing).
+    /// Set the full [`PipelineConfig`] (synthesis, execution, tracing,
+    /// profile, and budget). This is the canonical configuration entry
+    /// point; it replaces the whole config, including anything set by
+    /// the deprecated per-part setters.
     pub fn configure(mut self, config: PipelineConfig) -> Self {
         self.config = config;
         self
@@ -206,8 +269,13 @@ impl<'p> Pipeline<'p> {
 
     /// Cap the synthesis search; overrides the corresponding
     /// [`SynthConfig`] fields at [`Pipeline::run`] time.
+    #[deprecated(
+        since = "0.3.0",
+        note = "the budget is part of `PipelineConfig` now: \
+                `.configure(PipelineConfig::default().with_budget(b))`"
+    )]
     pub fn budget(mut self, budget: SearchBudget) -> Self {
-        self.budget = Some(budget);
+        self.config.budget = Some(budget);
         self
     }
 
@@ -224,6 +292,18 @@ impl<'p> Pipeline<'p> {
         self
     }
 
+    /// Consult (and fill) `cache` during [`Pipeline::run`]: the
+    /// program's normalized-form fingerprint is looked up first, and a
+    /// hit re-serves the stored [`Parallelization`] and plan without
+    /// running any synthesis. Fresh divide-and-conquer and map-only
+    /// solutions are inserted after a miss; deadline-curtailed and
+    /// unparallelizable outcomes are never cached (a retry with a larger
+    /// budget could do better).
+    pub fn cache(mut self, cache: Arc<SolutionCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Run the Figure-7 schema under an ambient tracer and aggregate the
     /// event stream into a [`PipelineReport`].
     ///
@@ -236,11 +316,39 @@ impl<'p> Pipeline<'p> {
             synth,
             run,
             trace: trace_cfg,
+            profile,
+            budget,
         } = self.config;
-        let cfg = match self.budget {
+        let cfg = match budget {
             Some(budget) => budget.apply(synth),
             None => synth,
         };
+
+        let key = self.cache.as_ref().map(|cache| {
+            let key = fingerprint(self.program);
+            (Arc::clone(cache), key)
+        });
+        if let Some((cache, key)) = &key {
+            let started = Instant::now();
+            if let Some(cached) = cache.lookup(*key) {
+                let mut phase_timings = BTreeMap::new();
+                phase_timings.insert("total".to_owned(), started.elapsed());
+                let mut counters = BTreeMap::new();
+                counters.insert("cache.hit".to_owned(), 1);
+                return Ok(PipelineReport {
+                    parallelization: cached.parallelization,
+                    phase_timings,
+                    counters,
+                    degraded: false,
+                    cache_hit: true,
+                    plan: cached.plan,
+                    profile,
+                    seed: cached.seed,
+                    run,
+                });
+            }
+        }
+
         let aggregator = PhaseAggregator::new();
         let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::new(aggregator.clone())];
         if let Some(user) = &self.sink {
@@ -259,11 +367,28 @@ impl<'p> Pipeline<'p> {
         };
         let guard = trace::set_ambient(tracer.clone());
         let started = Instant::now();
-        let outcome = run_schema(self.program, &self.profile, &cfg);
+        let outcome = run_schema(self.program, &profile, &cfg);
         let total = started.elapsed();
         drop(guard);
         tracer.flush();
         let parallelization = outcome?;
+        let plan = parallelization.render_plan();
+
+        if let Some((cache, key)) = &key {
+            let worth_caching = !parallelization.report.deadline_exceeded
+                && !matches!(parallelization.outcome, Outcome::Unparallelizable { .. });
+            if worth_caching {
+                cache.insert(
+                    *key,
+                    CachedSolution {
+                        fingerprint: fingerprint_hex(*key),
+                        parallelization: parallelization.clone(),
+                        plan: plan.clone(),
+                        seed: cfg.seed,
+                    },
+                );
+            }
+        }
 
         let mut phase_timings = aggregator.phase_timings();
         phase_timings.insert("total".to_owned(), total);
@@ -272,7 +397,9 @@ impl<'p> Pipeline<'p> {
             phase_timings,
             counters: aggregator.counters(),
             degraded: false,
-            profile: self.profile,
+            cache_hit: false,
+            plan,
+            profile,
             seed: cfg.seed,
             run,
         })
@@ -288,15 +415,21 @@ pub struct PipelineReport {
     /// Total span wall-clock per phase (`analyze`, `summarize`,
     /// `join_search`, `normalize`, `synthesize`, `verify`, …) plus the
     /// overall `total`. Phases nest (e.g. `normalize` time also elapses
-    /// inside `join_search`), so entries do not sum to `total`.
+    /// inside `join_search`), so entries do not sum to `total`. A cache
+    /// hit has only `total` — no synthesis ran.
     pub phase_timings: BTreeMap<String, Duration>,
     /// Event counters keyed `"phase.name"` (e.g.
-    /// `"synthesize.cegis_round"`, `"normalize.rule_fired"`).
+    /// `"synthesize.cegis_round"`, `"normalize.rule_fired"`). A cache
+    /// hit has exactly one counter, `"cache.hit"`.
     pub counters: BTreeMap<String, u64>,
     /// Whether any [`PipelineReport::execute`] call on this report had
     /// to abandon its parallel plan and recover through the sequential
     /// interpreter (after a persistent worker panic).
     pub degraded: bool,
+    /// Whether this report was re-served from a [`SolutionCache`]
+    /// instead of a fresh synthesis run.
+    pub cache_hit: bool,
+    plan: String,
     profile: InputProfile,
     seed: u64,
     run: RunConfig,
@@ -306,6 +439,12 @@ impl PipelineReport {
     /// The Table-1 statistics of the underlying run.
     pub fn report(&self) -> &Report {
         &self.parallelization.report
+    }
+
+    /// The rendered parallel plan. On a cache hit this is the stored
+    /// byte-for-byte plan from the original synthesis.
+    pub fn plan_text(&self) -> &str {
+        &self.plan
     }
 
     /// The input profile the run used (kept for re-verification).
@@ -376,6 +515,7 @@ impl PipelineReport {
             Outcome::Unparallelizable { reason } => ("unparallelizable", Some(reason.clone())),
         };
         PipelineReportJson {
+            schema_version: SCHEMA_VERSION,
             outcome: outcome.to_owned(),
             reason,
             loop_depth: report.loop_depth,
@@ -386,6 +526,7 @@ impl PipelineReport {
             looped_join: report.looped_join,
             deadline_exceeded: report.deadline_exceeded,
             degraded: self.degraded,
+            cache_hit: self.cache_hit,
             seed: self.seed,
             phase_timings: self
                 .phase_timings
@@ -413,10 +554,16 @@ impl Serialize for PipelineReport {
     }
 }
 
-/// The JSON shape of a [`PipelineReport`] — flat, stable, and
-/// round-trippable (timings as fractional seconds).
+/// The JSON shape of a [`PipelineReport`] — flat, stable, versioned,
+/// and round-trippable (timings as fractional seconds). This is the one
+/// wire format: the CLI's `--json` output and the daemon's responses
+/// both serialize exactly this struct.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineReportJson {
+    /// Wire-format version ([`SCHEMA_VERSION`]). Absent in pre-0.3
+    /// documents, which deserialize as version 0.
+    #[serde(default)]
+    pub schema_version: u32,
     /// `"divide_and_conquer"`, `"map_only"`, or `"unparallelizable"`.
     pub outcome: String,
     /// Failure reason when `outcome == "unparallelizable"`.
@@ -441,6 +588,9 @@ pub struct PipelineReportJson {
     /// fallback after a persistent worker panic.
     #[serde(default)]
     pub degraded: bool,
+    /// Whether the report was re-served from the solution cache.
+    #[serde(default)]
+    pub cache_hit: bool,
     /// RNG seed the run used.
     pub seed: u64,
     /// Per-phase wall clock, in seconds.
@@ -469,6 +619,8 @@ mod tests {
         let report = Pipeline::new(&p).run().unwrap();
         assert!(report.parallelization.is_divide_and_conquer());
         assert_eq!(report.report().aux_count(), 0);
+        assert!(!report.cache_hit);
+        assert!(report.plan_text().contains("divide-and-conquer"));
     }
 
     #[test]
@@ -506,7 +658,21 @@ mod tests {
             search_examples: 12,
             verify_examples: 40,
         };
-        let report = Pipeline::new(&p).budget(budget).run().unwrap();
+        let report = Pipeline::new(&p)
+            .configure(PipelineConfig::default().with_budget(budget))
+            .run()
+            .unwrap();
+        assert!(report.parallelization.is_divide_and_conquer());
+    }
+
+    #[test]
+    fn deprecated_setters_still_reach_the_config() {
+        let p = sum2d();
+        #[allow(deprecated)]
+        let report = Pipeline::new(&p)
+            .budget(SearchBudget::quick())
+            .run()
+            .unwrap();
         assert!(report.parallelization.is_divide_and_conquer());
     }
 
@@ -524,12 +690,34 @@ mod tests {
             .with_run(RunConfig::static_schedule(2))
             .with_synth_threads(4)
             .with_run_threads(6)
+            .with_profile(InputProfile::default())
             .with_seed(99);
         assert_eq!(cfg.synth.enum_cfg.max_size, 5);
         assert_eq!(cfg.synth.threads, 4);
         assert_eq!(cfg.synth.seed, 99);
         assert_eq!(cfg.run.threads, 6);
+        assert!(cfg.budget.is_none());
         assert!(!cfg.trace.is_enabled());
+    }
+
+    #[test]
+    fn deadline_and_timeout_share_one_slot_last_call_wins() {
+        use parsynt_trace::Deadline;
+        // timeout then unlimited deadline → unlimited
+        let cfg = PipelineConfig::default()
+            .with_timeout_ms(5)
+            .with_deadline(Deadline::none());
+        assert!(!cfg.synth.deadline.is_limited());
+        // unlimited deadline then timeout → limited
+        let cfg = PipelineConfig::default()
+            .with_deadline(Deadline::none())
+            .with_timeout_ms(5);
+        assert!(cfg.synth.deadline.is_limited());
+        // two timeouts → still the later one (limited, and expiring)
+        let cfg = PipelineConfig::default()
+            .with_timeout_ms(60_000)
+            .with_timeout_ms(0);
+        assert!(cfg.synth.deadline.is_expired());
     }
 
     #[test]
@@ -580,7 +768,52 @@ mod tests {
         let json = report.to_json();
         let back: PipelineReportJson = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report.to_json_struct());
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.outcome, "divide_and_conquer");
         assert!(back.phase_timings["total"] > 0.0);
+    }
+
+    #[test]
+    fn cache_hit_skips_synthesis_and_reserves_the_same_plan() {
+        let p = sum2d();
+        let cache = Arc::new(SolutionCache::in_memory(8));
+        let first = Pipeline::new(&p).cache(Arc::clone(&cache)).run().unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(cache.stats().misses, 1);
+
+        let second = Pipeline::new(&p).cache(Arc::clone(&cache)).run().unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(second.plan_text(), first.plan_text());
+        assert_eq!(second.seed(), first.seed());
+        // No synthesis ran: only the total timing, only the hit counter.
+        assert_eq!(
+            second.phase_timings.keys().collect::<Vec<_>>(),
+            vec!["total"]
+        );
+        assert_eq!(second.counters.get("cache.hit"), Some(&1));
+        assert!(!second.phase_timings.contains_key("synthesize"));
+    }
+
+    #[test]
+    fn deadline_curtailed_runs_are_not_cached() {
+        let p = sum2d();
+        let cache = Arc::new(SolutionCache::in_memory(8));
+        let report = Pipeline::new(&p)
+            .configure(PipelineConfig::default().with_timeout_ms(0))
+            .cache(Arc::clone(&cache))
+            .run()
+            .unwrap();
+        assert!(report.report().deadline_exceeded);
+        assert_eq!(
+            cache.stats().resident,
+            0,
+            "curtailed run must not be cached"
+        );
+        // A later unconstrained run misses, synthesizes, and caches.
+        let fresh = Pipeline::new(&p).cache(Arc::clone(&cache)).run().unwrap();
+        assert!(!fresh.cache_hit);
+        assert!(fresh.parallelization.is_divide_and_conquer());
+        assert_eq!(cache.stats().resident, 1);
     }
 }

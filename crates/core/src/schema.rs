@@ -9,11 +9,11 @@ use parsynt_synth::examples::InputProfile;
 use parsynt_synth::join::{JoinVocab, SynthesizedJoin};
 use parsynt_synth::report::SynthConfig;
 use parsynt_trace as trace;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// How the loop nest was parallelized.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Outcome {
     /// A full divide-and-conquer parallelization: split the input along
     /// the outer dimension, run the (memoryless, lifted) loop on each
@@ -38,7 +38,7 @@ pub enum Outcome {
 }
 
 /// Timing and lifting statistics — one column of Table 1.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Report {
     /// Loop-nest depth `n`.
     pub loop_depth: usize,
@@ -74,7 +74,7 @@ impl Report {
 }
 
 /// The result of running the schema on a program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Parallelization {
     /// The final program: memoryless-transformed and lifted; its
     /// sequential semantics (projected to `return`s) equals the input
@@ -101,6 +101,29 @@ impl Parallelization {
     pub fn is_unparallelizable(&self) -> bool {
         matches!(self.outcome, Outcome::Unparallelizable { .. })
     }
+
+    /// Render the plan deterministically: the transformed program text
+    /// plus, for divide-and-conquer outcomes, the synthesized join.
+    ///
+    /// This is the canonical textual form stored in the solution cache
+    /// and served by the daemon — two renders of the same
+    /// `Parallelization` are byte-identical.
+    pub fn render_plan(&self) -> String {
+        use parsynt_lang::pretty::program_to_string;
+        match &self.outcome {
+            Outcome::DivideAndConquer { join, .. } => format!(
+                "outcome: divide-and-conquer\n{}\njoin:\n{}\n",
+                program_to_string(&self.program),
+                join.render(&self.program)
+            ),
+            Outcome::MapOnly => {
+                format!("outcome: map-only\n{}\n", program_to_string(&self.program))
+            }
+            Outcome::Unparallelizable { reason } => {
+                format!("outcome: unparallelizable ({reason})\n")
+            }
+        }
+    }
 }
 
 /// Run the full schema with default input profile and synthesis budget.
@@ -125,7 +148,8 @@ pub fn parallelize(program: &Program) -> Result<Parallelization> {
 /// Propagates interpreter/program errors.
 #[deprecated(
     since = "0.2.0",
-    note = "use `Pipeline::new(program).profile(..).config(..).run()`"
+    note = "use `Pipeline::new(program).configure(PipelineConfig::default()\
+            .with_profile(..).with_synth(..)).run()`"
 )]
 pub fn parallelize_with(
     program: &Program,

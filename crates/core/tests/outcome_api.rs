@@ -1,7 +1,7 @@
 //! Black-box tests of the `Outcome` / `Parallelization` accessors and
 //! the `Pipeline` report surface, from outside the crate.
 
-use parsynt_core::{Outcome, Pipeline};
+use parsynt_core::{Outcome, Pipeline, PipelineConfig};
 use parsynt_lang::parse;
 use parsynt_synth::examples::InputProfile;
 
@@ -43,7 +43,10 @@ fn map_only_accessors() {
     )
     .unwrap();
     let profile = InputProfile::default().with_choices(&[-1, 1]);
-    let report = Pipeline::new(&p).profile(profile).run().unwrap();
+    let report = Pipeline::new(&p)
+        .configure(PipelineConfig::default().with_profile(profile))
+        .run()
+        .unwrap();
     let plan = &report.parallelization;
     assert!(matches!(plan.outcome, Outcome::MapOnly));
     assert!(plan.is_map_only());

@@ -88,6 +88,30 @@ impl Interner {
     }
 }
 
+// On the wire an interner is just its name list; the name → symbol map
+// is derived state and is rebuilt on deserialization.
+impl Serialize for Interner {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.names.serialize(serializer)
+    }
+}
+
+impl Deserialize for Interner {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let names = Vec::<String>::from_value(value)?;
+        let mut interner = Interner::new();
+        for name in &names {
+            interner.intern(name);
+        }
+        if interner.names != names {
+            return Err(serde::Error::custom(
+                "duplicate names in serialized interner",
+            ));
+        }
+        Ok(interner)
+    }
+}
+
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnOp {
@@ -224,7 +248,7 @@ impl fmt::Display for BinOp {
 }
 
 /// An expression tree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Expr {
     /// Integer literal.
     Int(i64),
@@ -400,7 +424,7 @@ impl Expr {
 
 /// The target of an assignment: a variable, optionally indexed
 /// (e.g. `rec[j] = ...`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LValue {
     /// The assigned variable.
     pub base: Sym,
@@ -427,7 +451,7 @@ impl LValue {
 }
 
 /// A statement.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Stmt {
     /// Local declaration `let name : ty = init;` — declares an
     /// inner-loop state variable reset at each iteration of the
@@ -493,7 +517,7 @@ impl Stmt {
 }
 
 /// An `input` declaration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InputDecl {
     /// The input variable.
     pub name: Sym,
@@ -502,7 +526,7 @@ pub struct InputDecl {
 }
 
 /// A `state` declaration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateDecl {
     /// The state variable.
     pub name: Sym,
@@ -513,7 +537,7 @@ pub struct StateDecl {
 }
 
 /// A complete program: declarations, loop-nest body and return list.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Program {
     /// Symbol interner owning every identifier in the program.
     pub interner: Interner,

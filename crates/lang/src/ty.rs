@@ -4,10 +4,11 @@
 //! [`Ty::Seq`] constructors around a scalar base, e.g. `seq<seq<int>>`
 //! is the 2-dimensional sequence type `S²`.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A type of the mini language.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Ty {
     /// Machine integer (the paper's `int`, assumed constant-size).
     Int,

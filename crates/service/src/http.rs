@@ -1,0 +1,203 @@
+//! A deliberately small HTTP/1.1 subset over `std::net` — just enough
+//! for a loopback JSON service: one request per connection
+//! (`Connection: close`), `Content-Length` bodies, no chunked encoding,
+//! no keep-alive, no TLS.
+//!
+//! Keeping this hand-rolled (rather than stubbing a full HTTP crate)
+//! keeps the daemon dependency-free and the parsing surface small
+//! enough to be exhaustively tested.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on request bodies; larger requests get `413`.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Upper bound on the header section; longer sections are malformed.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, and body. Headers other than
+/// `Content-Length` are read and discarded.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Request path without query parsing (`/parallelize`).
+    pub path: String,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be served at the HTTP layer.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The bytes were not a parseable HTTP/1.1 request.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Read one HTTP/1.1 request from `stream`.
+///
+/// # Errors
+///
+/// Returns [`RequestError::Malformed`] for anything that is not a
+/// well-formed request line + headers + sized body, and
+/// [`RequestError::BodyTooLarge`] when the declared length exceeds the
+/// cap (the caller answers `413` without reading the body).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line lacks a path".into()))?
+        .to_owned();
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(RequestError::Malformed(format!(
+                "bad HTTP version {other:?}"
+            )))
+        }
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(RequestError::Malformed("header section too long".into()));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "header without a colon: {trimmed:?}"
+            )));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// The standard reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        206 => "Partial Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` JSON response.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller logs and drops them —
+/// the peer may have gone away).
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut stream);
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_a_posted_body() {
+        let request =
+            roundtrip(b"POST /parallelize HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/parallelize");
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let request = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let huge = format!(
+            "POST /parallelize HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match roundtrip(huge.as_bytes()) {
+            Err(RequestError::BodyTooLarge(n)) => assert_eq!(n, MAX_BODY_BYTES + 1),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_http_noise() {
+        assert!(matches!(
+            roundtrip(b"hello world\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,384 @@
+//! # parsynt-serve
+//!
+//! Synthesis-as-a-service: an HTTP/JSON daemon over the
+//! [`parsynt_core::Pipeline`] with a content-addressed
+//! [`SolutionCache`]. POSTed PSL programs are fingerprinted in
+//! normalized form; repeat submissions (including across daemon
+//! restarts, with a persistent cache directory) are re-served from the
+//! cache without running any synthesis.
+//!
+//! ## Endpoints
+//!
+//! | method/path          | purpose                                      |
+//! |----------------------|----------------------------------------------|
+//! | `POST /parallelize`  | run (or re-serve) the Figure-7 schema        |
+//! | `GET /healthz`       | liveness + version                           |
+//! | `GET /stats`         | cache hits/misses/evictions, in-flight, served |
+//!
+//! ## Status mapping
+//!
+//! The response status carries the same semantics as the CLI's exit
+//! codes (see `parsynt --help`):
+//!
+//! | outcome                              | CLI exit | HTTP |
+//! |--------------------------------------|----------|------|
+//! | parallelized (d&c or map-only)       | 0        | 200  |
+//! | execution degraded to sequential     | 8        | 206  |
+//! | program did not parse / bad request  | 4        | 400  |
+//! | not efficiently parallelizable       | —        | 422  |
+//! | synthesis deadline exceeded          | 7        | 504  |
+//! | queue full (load shed)               | —        | 503  |
+//!
+//! Deadline expiry wins over the unparallelizable outcome it manifests
+//! as, exactly as in the CLI.
+
+use parsynt_core::{
+    CacheStats, Pipeline, PipelineConfig, PipelineReport, PipelineReportJson, SolutionCache,
+};
+use parsynt_lang::parse;
+use parsynt_synth::examples::InputProfile;
+use parsynt_trace::sinks::{TaggedSink, WriterSink};
+use parsynt_trace::{TraceSink, Tracer};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub mod http;
+pub mod server;
+
+pub use server::{ServeConfig, Server, ServerHandle};
+
+/// The body of `POST /parallelize`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelizeRequest {
+    /// PSL source text of the loop nest to parallelize.
+    pub program: String,
+    /// Synthesis deadline in milliseconds; overrides the daemon's
+    /// default. `0` expires immediately (useful to probe the cache:
+    /// hits still return `200`).
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+    /// Synthesis RNG seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Candidate-screening threads (1 = sequential CEGIS).
+    #[serde(default)]
+    pub synth_threads: Option<usize>,
+    /// Verify against bracket inputs (`-1`/`1` choices) instead of the
+    /// default value distribution.
+    #[serde(default)]
+    pub brackets: bool,
+    /// Fix every inner row to exactly this width (the CLI's
+    /// `--pair-width`); required by benchmarks that index `a[i][k]`
+    /// with constant `k`.
+    #[serde(default)]
+    pub pair_width: Option<usize>,
+}
+
+/// The body of a `POST /parallelize` response (any status except the
+/// pre-parse failures, which carry an [`ErrorBody`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelizeResponse {
+    /// Server-assigned request id; also tags every event in the
+    /// request's trace file.
+    pub request_id: String,
+    /// Normalized-form fingerprint of the submitted program (hex).
+    pub fingerprint: String,
+    /// Whether the solution was re-served from the cache.
+    pub cache_hit: bool,
+    /// The rendered plan — byte-identical between the original
+    /// synthesis and every later cache hit.
+    pub plan: String,
+    /// The full versioned report (same shape as the CLI's `--json`).
+    pub report: PipelineReportJson,
+}
+
+/// JSON error envelope for non-report failures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable failure description.
+    pub error: String,
+    /// Request id, when one was assigned before the failure.
+    #[serde(default)]
+    pub request_id: Option<String>,
+}
+
+/// The body of `GET /stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Solution-cache counters.
+    pub cache: CacheStats,
+    /// Requests currently being served by the worker pool.
+    pub in_flight: u64,
+    /// Connections answered since startup (any status).
+    pub served: u64,
+    /// Connections answered `503` because the queue was full.
+    pub shed: u64,
+}
+
+/// The body of `GET /healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the daemon can answer at all.
+    pub status: String,
+    /// Crate version of the daemon.
+    pub version: String,
+}
+
+/// Shared daemon state: the cache, the counters, and the trace sink
+/// configuration.
+pub(crate) struct ServerState {
+    pub(crate) cache: Arc<SolutionCache>,
+    pub(crate) in_flight: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    request_counter: AtomicU64,
+    trace_dir: Option<PathBuf>,
+    default_timeout_ms: Option<u64>,
+}
+
+impl ServerState {
+    pub(crate) fn new(
+        cache: Arc<SolutionCache>,
+        trace_dir: Option<PathBuf>,
+        default_timeout_ms: Option<u64>,
+    ) -> Self {
+        ServerState {
+            cache,
+            in_flight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            request_counter: AtomicU64::new(0),
+            trace_dir,
+            default_timeout_ms,
+        }
+    }
+}
+
+/// Map a finished pipeline report onto its response status (the HTTP
+/// face of the CLI's exit codes — see the crate-level table).
+pub fn http_status_for(report: &PipelineReport) -> u16 {
+    if report.report().deadline_exceeded {
+        504
+    } else if report.degraded {
+        206
+    } else if report.parallelization.is_unparallelizable() {
+        422
+    } else {
+        200
+    }
+}
+
+fn error_body(error: String, request_id: Option<String>) -> String {
+    serde_json::to_string(&ErrorBody { error, request_id })
+        .unwrap_or_else(|_| "{\"error\":\"unserializable error\"}".to_owned())
+}
+
+/// Route one parsed request to its handler; returns `(status, body)`.
+pub(crate) fn handle(
+    state: &Arc<ServerState>,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, String) {
+    match (method, path) {
+        ("POST", "/parallelize") => handle_parallelize(state, body),
+        ("GET", "/healthz") => (
+            200,
+            serde_json::to_string(&HealthResponse {
+                status: "ok".to_owned(),
+                version: env!("CARGO_PKG_VERSION").to_owned(),
+            })
+            .unwrap_or_default(),
+        ),
+        ("GET", "/stats") => (
+            200,
+            serde_json::to_string(&StatsResponse {
+                cache: state.cache.stats(),
+                in_flight: state.in_flight.load(Ordering::Relaxed),
+                served: state.served.load(Ordering::Relaxed),
+                shed: state.shed.load(Ordering::Relaxed),
+            })
+            .unwrap_or_default(),
+        ),
+        (_, "/parallelize") | (_, "/healthz") | (_, "/stats") => (
+            405,
+            error_body(format!("method {method} not allowed on {path}"), None),
+        ),
+        _ => (404, error_body(format!("no such endpoint: {path}"), None)),
+    }
+}
+
+fn handle_parallelize(state: &Arc<ServerState>, body: &[u8]) -> (u16, String) {
+    let request_id = format!(
+        "req-{:08}",
+        state.request_counter.fetch_add(1, Ordering::Relaxed)
+    );
+    let request: ParallelizeRequest = match serde_json::from_slice(body) {
+        Ok(request) => request,
+        Err(e) => {
+            return (
+                400,
+                error_body(format!("bad request body: {e}"), Some(request_id)),
+            )
+        }
+    };
+    let program = match parse(&request.program) {
+        Ok(program) => program,
+        Err(e) => {
+            return (
+                400,
+                error_body(format!("program does not parse: {e}"), Some(request_id)),
+            )
+        }
+    };
+
+    let mut profile = InputProfile::default();
+    if request.brackets {
+        profile = profile.with_choices(&[-1, 1]);
+    }
+    if let Some(w) = request.pair_width {
+        profile = profile.with_cols(w.max(1), w.max(1));
+    }
+    let mut cfg = PipelineConfig::default().with_profile(profile);
+    if let Some(seed) = request.seed {
+        cfg = cfg.with_seed(seed);
+    }
+    if let Some(threads) = request.synth_threads {
+        cfg = cfg.with_synth_threads(threads);
+    }
+    if let Some(ms) = request.timeout_ms.or(state.default_timeout_ms) {
+        cfg = cfg.with_timeout_ms(ms);
+    }
+
+    // Per-request trace: every event lands in <trace_dir>/<id>.jsonl,
+    // tagged with the request id.
+    let trace_sink: Option<Arc<dyn TraceSink>> = state.trace_dir.as_ref().and_then(|dir| {
+        std::fs::create_dir_all(dir).ok()?;
+        let file = WriterSink::to_file(dir.join(format!("{request_id}.jsonl"))).ok()?;
+        Some(Arc::new(TaggedSink::new(
+            Arc::new(file),
+            &[("request_id", request_id.as_str().into())],
+        )) as Arc<dyn TraceSink>)
+    });
+    let request_tracer = match &trace_sink {
+        Some(sink) => Tracer::new(Arc::clone(sink)),
+        None => Tracer::disabled(),
+    };
+    let mut request_span = request_tracer.span_with(
+        "serve",
+        "request",
+        &[("request_id", request_id.as_str().into())],
+    );
+
+    let fingerprint = parsynt_core::fingerprint(&program);
+    let mut pipeline = Pipeline::new(&program)
+        .configure(cfg)
+        .cache(Arc::clone(&state.cache));
+    if let Some(sink) = &trace_sink {
+        pipeline = pipeline.sink_arc(Arc::clone(sink));
+    }
+    let report = match pipeline.run() {
+        Ok(report) => report,
+        Err(e) => {
+            request_span.record("status", 500u64);
+            return (
+                500,
+                error_body(format!("synthesis failed: {e}"), Some(request_id)),
+            );
+        }
+    };
+
+    let status = http_status_for(&report);
+    request_span.record("status", u64::from(status));
+    request_span.record("cache_hit", report.cache_hit);
+    drop(request_span);
+    request_tracer.flush();
+
+    let response = ParallelizeResponse {
+        request_id: request_id.clone(),
+        fingerprint: parsynt_core::fingerprint_hex(fingerprint),
+        cache_hit: report.cache_hit,
+        plan: report.plan_text().to_owned(),
+        report: report.to_json_struct(),
+    };
+    match serde_json::to_string(&response) {
+        Ok(body) => (status, body),
+        Err(e) => (
+            500,
+            error_body(format!("unserializable report: {e}"), Some(request_id)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> Arc<ServerState> {
+        Arc::new(ServerState::new(
+            Arc::new(SolutionCache::in_memory(8)),
+            None,
+            None,
+        ))
+    }
+
+    #[test]
+    fn unknown_paths_are_404_and_wrong_methods_405() {
+        let state = state();
+        let (status, _) = handle(&state, "GET", "/nope", b"");
+        assert_eq!(status, 404);
+        let (status, _) = handle(&state, "DELETE", "/parallelize", b"");
+        assert_eq!(status, 405);
+        let (status, _) = handle(&state, "POST", "/healthz", b"");
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn healthz_and_stats_answer_json() {
+        let state = state();
+        let (status, body) = handle(&state, "GET", "/healthz", b"");
+        assert_eq!(status, 200);
+        let health: HealthResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(health.status, "ok");
+        let (status, body) = handle(&state, "GET", "/stats", b"");
+        assert_eq!(status, 200);
+        let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(stats.cache.hits, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn bad_json_and_bad_programs_are_400() {
+        let state = state();
+        let (status, body) = handle(&state, "POST", "/parallelize", b"not json");
+        assert_eq!(status, 400);
+        assert!(body.contains("bad request body"));
+        let request = serde_json::to_string(&ParallelizeRequest {
+            program: "this is not psl".to_owned(),
+            timeout_ms: None,
+            seed: None,
+            synth_threads: None,
+            brackets: false,
+            pair_width: None,
+        })
+        .unwrap();
+        let (status, body) = handle(&state, "POST", "/parallelize", request.as_bytes());
+        assert_eq!(status, 400);
+        assert!(body.contains("does not parse"));
+    }
+
+    #[test]
+    fn degraded_reports_map_to_206() {
+        let program = parsynt_lang::parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        )
+        .unwrap();
+        let mut report = Pipeline::new(&program).run().unwrap();
+        assert_eq!(http_status_for(&report), 200);
+        report.degraded = true;
+        assert_eq!(http_status_for(&report), 206);
+    }
+}

@@ -1,0 +1,239 @@
+//! The daemon: a `TcpListener` accept loop in front of a fixed worker
+//! pool connected by a bounded queue.
+//!
+//! Admission control is explicit: the accept loop never blocks on a
+//! busy pool. When the queue is full the connection is answered `503`
+//! immediately, so load shedding is visible to clients instead of
+//! turning into unbounded connection backlog.
+
+use crate::http::{read_request, write_json_response, Request, RequestError};
+use crate::{handle, ServerState};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use parsynt_core::cache::DEFAULT_CAPACITY;
+use parsynt_core::SolutionCache;
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads running synthesis requests.
+    pub workers: usize,
+    /// Bounded depth of the accept→worker queue; a full queue sheds
+    /// load with `503`.
+    pub queue_depth: usize,
+    /// In-memory LRU capacity of the solution cache.
+    pub cache_capacity: usize,
+    /// When set, the cache also persists under this directory (in a
+    /// versioned subdirectory) and survives daemon restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// When set, each request writes its trace as
+    /// `<trace_dir>/<request_id>.jsonl`, every event tagged with the
+    /// request id.
+    pub trace_dir: Option<PathBuf>,
+    /// Default synthesis deadline applied when a request names none.
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7341".to_owned(),
+            workers: 4,
+            queue_depth: 32,
+            cache_capacity: DEFAULT_CAPACITY,
+            cache_dir: None,
+            trace_dir: None,
+            default_timeout_ms: None,
+        }
+    }
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    workers: usize,
+    queue_depth: usize,
+}
+
+impl Server {
+    /// Bind the listener and build the shared state (opening or
+    /// creating the persistent cache directory if configured).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound or the cache directory
+    /// cannot be created.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let cache = match &config.cache_dir {
+            Some(dir) => SolutionCache::persistent(dir, config.cache_capacity)?,
+            None => SolutionCache::in_memory(config.cache_capacity),
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServerState::new(
+                Arc::new(cache),
+                config.trace_dir.clone(),
+                config.default_timeout_ms,
+            )),
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth.max(1),
+        })
+    }
+
+    /// The bound address (with the actual port when binding to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared solution cache (for pre-warming or inspection).
+    pub fn cache(&self) -> Arc<SolutionCache> {
+        Arc::clone(&self.state.cache)
+    }
+
+    /// Serve forever on the calling thread (until [`ServerHandle`]
+    /// shutdown, for servers started via [`Server::spawn`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on listener-level accept errors; per-connection
+    /// errors are answered or dropped without stopping the loop.
+    pub fn run(self) -> io::Result<()> {
+        self.run_until(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Spawn the serve loop on a background thread and return a handle
+    /// that can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let addr = self.local_addr;
+        let state = Arc::clone(&self.state);
+        let flag = Arc::clone(&shutdown);
+        let join = std::thread::spawn(move || {
+            let _ = self.run_until(flag);
+        });
+        ServerHandle {
+            addr,
+            state,
+            shutdown,
+            join: Some(join),
+        }
+    }
+
+    fn run_until(self, shutdown: Arc<AtomicBool>) -> io::Result<()> {
+        let (tx, rx) = sync_channel::<TcpStream>(self.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            pool.push(std::thread::spawn(move || worker_loop(&rx, &state)));
+        }
+        for incoming in self.listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = incoming else { continue };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    self.state.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_json_response(
+                        &mut stream,
+                        503,
+                        "{\"error\":\"queue full, try again later\"}",
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<ServerState>) {
+    loop {
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(mut stream) = stream else { return };
+        state.in_flight.fetch_add(1, Ordering::Relaxed);
+        serve_connection(&mut stream, state);
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        state.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_connection(stream: &mut TcpStream, state: &Arc<ServerState>) {
+    let (status, body) = match read_request(stream) {
+        Ok(Request { method, path, body }) => handle(state, &method, &path, &body),
+        Err(RequestError::BodyTooLarge(n)) => (
+            413,
+            format!("{{\"error\":\"body of {n} bytes exceeds the limit\"}}"),
+        ),
+        Err(RequestError::Malformed(why)) => {
+            (400, format!("{{\"error\":\"malformed request: {why}\"}}"))
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    let _ = write_json_response(stream, status, &body);
+}
+
+/// Stops a [`Server::spawn`]ed daemon when asked (or when dropped).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's shared cache.
+    pub fn cache(&self) -> Arc<SolutionCache> {
+        Arc::clone(&self.state.cache)
+    }
+
+    /// Signal shutdown and wait for the serve loop to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.stop();
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end tests against a live daemon on an ephemeral port: raw
+//! `TcpStream` client, real synthesis, real cache. Covers the full
+//! status mapping (200 miss/hit, 504 deadline, 422 unparallelizable,
+//! 400 bad input, 404) and the restart-persistence guarantee of the
+//! on-disk cache.
+
+use parsynt_serve::{ParallelizeRequest, ParallelizeResponse, ServeConfig, Server, StatsResponse};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+/// The nested-sum benchmark: deterministic, quick to synthesize, and
+/// divide-and-conquer parallelizable.
+const SUM: &str = "input a : seq<seq<int>>; state s : int = 0;\n\
+                   for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }";
+
+/// The modified-LCS benchmark (Table 1 ✗): the conditional reset of
+/// `cur` admits no efficient join, so the search exhausts and reports
+/// the nest unparallelizable.
+const LCS: &str = "input a : seq<seq<int>>;\n\
+                   state best : int = 0;\n\
+                   state cur : int = 0;\n\
+                   for i in 0 .. len(a) {\n\
+                     if (a[i][0] == a[i][1]) { cur = cur + 1; } else { cur = 0; }\n\
+                     best = max(best, cur);\n\
+                   }\n\
+                   return best;";
+
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn parallelize_body(program: &str, timeout_ms: Option<u64>) -> String {
+    serde_json::to_string(&ParallelizeRequest {
+        program: program.to_owned(),
+        timeout_ms,
+        seed: None,
+        synth_threads: None,
+        brackets: false,
+        pair_width: None,
+    })
+    .unwrap()
+}
+
+fn ephemeral_server(cache_dir: Option<PathBuf>) -> parsynt_serve::ServerHandle {
+    Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_dir,
+        ..ServeConfig::default()
+    })
+    .expect("bind test server")
+    .spawn()
+}
+
+#[test]
+fn misses_then_hits_with_a_byte_identical_plan() {
+    let server = ephemeral_server(None);
+    let addr = server.addr();
+
+    let (status, body) = post(addr, "/parallelize", &parallelize_body(SUM, None));
+    assert_eq!(status, 200, "first post: {body}");
+    let first: ParallelizeResponse = serde_json::from_str(&body).unwrap();
+    assert!(!first.cache_hit);
+    assert!(first.plan.contains("divide-and-conquer"), "{}", first.plan);
+    assert!(
+        first.report.phase_timings.contains_key("synthesize"),
+        "miss must carry synthesis timings: {:?}",
+        first.report.phase_timings.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(first.report.schema_version, parsynt_core::SCHEMA_VERSION);
+
+    let (status, body) = post(addr, "/parallelize", &parallelize_body(SUM, None));
+    assert_eq!(status, 200, "second post: {body}");
+    let second: ParallelizeResponse = serde_json::from_str(&body).unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(second.fingerprint, first.fingerprint);
+    assert_eq!(second.plan, first.plan, "hit must re-serve identical bytes");
+    assert!(
+        !second.report.phase_timings.contains_key("synthesize"),
+        "hit must not report synthesis phases"
+    );
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""));
+
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(stats.cache.misses, 1, "{body}");
+    assert_eq!(stats.cache.hits, 1, "{body}");
+    assert!(stats.served >= 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadlines_map_to_504() {
+    let server = ephemeral_server(None);
+    let (status, body) = post(
+        server.addr(),
+        "/parallelize",
+        &parallelize_body(SUM, Some(0)),
+    );
+    assert_eq!(status, 504, "{body}");
+    let response: ParallelizeResponse = serde_json::from_str(&body).unwrap();
+    assert!(response.report.deadline_exceeded);
+    server.shutdown();
+}
+
+#[test]
+fn unparallelizable_programs_map_to_422() {
+    let server = ephemeral_server(None);
+    let body = serde_json::to_string(&ParallelizeRequest {
+        program: LCS.to_owned(),
+        timeout_ms: None,
+        seed: None,
+        synth_threads: None,
+        brackets: false,
+        pair_width: Some(2),
+    })
+    .unwrap();
+    let (status, body) = post(server.addr(), "/parallelize", &body);
+    assert_eq!(status, 422, "{body}");
+    let response: ParallelizeResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(response.report.outcome, "unparallelizable");
+    assert!(response.report.reason.is_some());
+    server.shutdown();
+}
+
+#[test]
+fn bad_inputs_map_to_400_and_unknown_paths_to_404() {
+    let server = ephemeral_server(None);
+    let addr = server.addr();
+
+    let (status, body) = post(addr, "/parallelize", "this is not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad request body"), "{body}");
+
+    let (status, body) = post(addr, "/parallelize", &parallelize_body("for i in", None));
+    assert_eq!(status, 400);
+    assert!(body.contains("does not parse"), "{body}");
+
+    let (status, _) = get(addr, "/no-such-endpoint");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn a_restarted_daemon_reserves_from_the_persistent_cache() {
+    let dir = std::env::temp_dir().join(format!("parsynt-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first_plan;
+    {
+        let server = ephemeral_server(Some(dir.clone()));
+        let (status, body) = post(server.addr(), "/parallelize", &parallelize_body(SUM, None));
+        assert_eq!(status, 200, "{body}");
+        let response: ParallelizeResponse = serde_json::from_str(&body).unwrap();
+        assert!(!response.cache_hit);
+        first_plan = response.plan;
+        server.shutdown();
+    }
+
+    // A brand-new daemon (fresh in-memory LRU) over the same directory
+    // must answer from disk without re-running synthesis.
+    let server = ephemeral_server(Some(dir.clone()));
+    let (status, body) = post(server.addr(), "/parallelize", &parallelize_body(SUM, None));
+    assert_eq!(status, 200, "{body}");
+    let response: ParallelizeResponse = serde_json::from_str(&body).unwrap();
+    assert!(response.cache_hit, "restart must not lose the solution");
+    assert_eq!(response.plan, first_plan);
+    assert!(
+        !response.report.phase_timings.contains_key("synthesize"),
+        "restart hit must skip synthesis"
+    );
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

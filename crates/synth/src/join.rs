@@ -22,10 +22,11 @@ use parsynt_lang::Ty;
 use parsynt_trace as trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// One state variable's projections in the join vocabulary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JoinVar {
     /// The state variable.
     pub sym: Sym,
@@ -39,7 +40,7 @@ pub struct JoinVar {
 
 /// The join's vocabulary: left/right projections for every state
 /// variable, and a loop counter for looped joins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JoinVocab {
     /// Per-state-variable projections.
     pub vars: Vec<JoinVar>,
@@ -78,7 +79,7 @@ impl JoinVocab {
 /// A synthesized join: a statement list executed with the convention
 /// that every state variable starts at its *left* value and the
 /// `v__l` / `v__r` symbols are bound to the incoming states.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SynthesizedJoin {
     /// The join body.
     pub stmts: Vec<Stmt>,

@@ -114,7 +114,7 @@ pub mod deadline;
 pub mod sinks;
 
 pub use deadline::{CancelToken, Deadline};
-pub use sinks::{CollectingSink, FanoutSink, NullSink, PhaseAggregator, WriterSink};
+pub use sinks::{CollectingSink, FanoutSink, NullSink, PhaseAggregator, TaggedSink, WriterSink};
 
 /// Declarative tracing options for a pipeline run.
 ///
@@ -331,13 +331,20 @@ impl Tracer {
 
     /// Start a timed span; the event is emitted when the span drops.
     pub fn span(&self, phase: &str, name: &str) -> Span {
+        self.span_with(phase, name, &[])
+    }
+
+    /// Start a timed span carrying `fields` from the outset (e.g. a
+    /// request id). [`Span::record`] can still add or override fields
+    /// before the span drops.
+    pub fn span_with(&self, phase: &str, name: &str, fields: &[(&str, FieldValue)]) -> Span {
         Span {
             tracer: self.clone(),
             data: self.inner.as_ref().map(|_| SpanData {
                 phase: phase.to_string(),
                 name: name.to_string(),
                 start: Instant::now(),
-                fields: BTreeMap::new(),
+                fields: to_map(fields),
             }),
         }
     }
@@ -444,6 +451,11 @@ pub fn enabled() -> bool {
 /// Start a timed span on the ambient tracer.
 pub fn span(phase: &str, name: &str) -> Span {
     ambient().span(phase, name)
+}
+
+/// Start a timed span with initial fields on the ambient tracer.
+pub fn span_with(phase: &str, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+    ambient().span_with(phase, name, fields)
 }
 
 /// Emit a counter on the ambient tracer.
@@ -595,6 +607,45 @@ mod tests {
             on.jsonl_path(),
             Some(std::path::Path::new("/tmp/trace.jsonl"))
         );
+    }
+
+    #[test]
+    fn span_with_carries_initial_fields() {
+        let sink = CollectingSink::new();
+        let tracer = Tracer::from_sink(sink.clone());
+        {
+            let mut span = tracer.span_with("serve", "request", &[("request_id", "req-42".into())]);
+            span.record("status", 200u64);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].fields["request_id"],
+            FieldValue::Str("req-42".into())
+        );
+        assert_eq!(events[0].fields["status"], FieldValue::Int(200));
+    }
+
+    #[test]
+    fn tagged_sink_stamps_every_event_without_clobbering() {
+        let sink = CollectingSink::new();
+        let tagged = TaggedSink::new(
+            Arc::new(sink.clone()),
+            &[
+                ("request_id", "req-7".into()),
+                ("status", "tag-must-lose".into()),
+            ],
+        );
+        let tracer = Tracer::from_sink(tagged);
+        tracer.counter("synthesize", "cegis_round", 1);
+        tracer.point("serve", "done", &[("status", 206u64.into())]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        for event in &events {
+            assert_eq!(event.fields["request_id"], FieldValue::Str("req-7".into()));
+        }
+        // The event's own field wins over the tag.
+        assert_eq!(events[1].fields["status"], FieldValue::Int(206));
     }
 
     #[test]

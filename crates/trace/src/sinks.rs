@@ -134,6 +134,49 @@ impl TraceSink for FanoutSink {
     }
 }
 
+/// Stamps a fixed set of key-value tags onto every event before
+/// forwarding it — the request-scoping building block of the daemon:
+/// wrap the shared JSONL sink in a `TaggedSink` carrying the request's
+/// trace id, and every span/counter/point emitted while serving that
+/// request lands in the shared stream self-identified.
+///
+/// Event-local fields win on key collision: a tag never overwrites a
+/// payload the instrumentation recorded deliberately.
+pub struct TaggedSink {
+    inner: Arc<dyn TraceSink>,
+    tags: BTreeMap<String, crate::FieldValue>,
+}
+
+impl TaggedSink {
+    /// Wrap `inner`, adding `tags` to every event.
+    pub fn new(inner: Arc<dyn TraceSink>, tags: &[(&str, crate::FieldValue)]) -> Self {
+        TaggedSink {
+            inner,
+            tags: tags
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl TraceSink for TaggedSink {
+    fn record(&self, event: &Event) {
+        let mut tagged = event.clone();
+        for (key, value) in &self.tags {
+            tagged
+                .fields
+                .entry(key.clone())
+                .or_insert_with(|| value.clone());
+        }
+        self.inner.record(&tagged);
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
 #[derive(Default)]
 struct AggregatorState {
     /// Summed span durations (µs) per phase.

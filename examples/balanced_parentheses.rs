@@ -13,7 +13,7 @@
 //! line's `(line_offset, min_offset)` is computed in parallel, the outer
 //! fold stays sequential.
 
-use parsynt::core::{run_map_only, Outcome, Pipeline};
+use parsynt::core::{run_map_only, Outcome, Pipeline, PipelineConfig};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::pretty::program_to_string;
 use parsynt::lang::{parse, Value};
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = InputProfile::default().with_choices(&[-1, 1]);
     println!("running the pipeline on bp (lift + merge synthesis, ~minutes)...");
     let plan = Pipeline::new(&program)
-        .profile(profile)
+        .configure(PipelineConfig::default().with_profile(profile))
         .run()?
         .parallelization;
     assert!(matches!(plan.outcome, Outcome::MapOnly), "bp is map-only");

@@ -10,9 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace -- -D warnings
 
+echo "== cargo clippy parsynt-serve incl. tests (-D warnings) =="
+cargo clippy -p parsynt-serve --all-targets -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
+# The workspace test run includes the parsynt-serve suites: the HTTP
+# parser unit tests, the handler/status-mapping unit tests, and the
+# live-daemon e2e tests (ephemeral port; cache miss/hit, 504/422/400,
+# restart persistence).
 echo "== cargo test =="
 cargo test --workspace -q
 

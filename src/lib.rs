@@ -57,21 +57,30 @@
 //! | 0.1 | 0.2 |
 //! |-----|-----|
 //! | `parallelize(&p)?` | `Pipeline::new(&p).run()?.parallelization` |
-//! | `parallelize_with(&p, &profile, &cfg)?` | `Pipeline::new(&p).profile(profile).config(cfg).run()?.parallelization` |
+//! | `parallelize_with(&p, &profile, &cfg)?` | `Pipeline::new(&p).configure(PipelineConfig::default().with_profile(profile).with_synth(cfg)).run()?.parallelization` |
 //! | `check_homomorphism_law(&plan, &profile, n, seed)?` | `report.check_homomorphism(n)?` |
-//! | ad-hoc knobs spread over call sites | one [`PipelineConfig`] (`synth` + `run` + `trace`), `Pipeline::new(&p).configure(cfg)` |
+//! | ad-hoc knobs spread over call sites | one [`PipelineConfig`], `Pipeline::new(&p).configure(cfg)` |
 //!
-//! [`PipelineConfig`] is the single configuration surface of 0.2: what
-//! to synthesize with ([`SynthConfig`], including `with_synth_threads`
+//! The 0.2 per-part builder setters (`Pipeline::profile`,
+//! `Pipeline::config`, `Pipeline::budget`) are deprecated in 0.3: the
+//! input profile and search budget moved into [`PipelineConfig`]
+//! (`with_profile` / `with_budget`), making
+//! `Pipeline::new(&p).configure(cfg)` the single configuration entry
+//! point.
+//!
+//! [`PipelineConfig`] is the whole configuration surface: what to
+//! synthesize with ([`SynthConfig`], including `with_synth_threads`
 //! for deterministic parallel candidate screening), how
 //! [`core::PipelineReport::execute`] runs the result ([`RunConfig`]),
-//! and what to trace ([`TraceConfig`]).
+//! what to trace ([`TraceConfig`]), the input profile for bounded
+//! verification, and an optional search budget.
 
 pub use parsynt_core as core;
 pub use parsynt_lang as lang;
 pub use parsynt_lift as lift;
 pub use parsynt_rewrite as rewrite;
 pub use parsynt_runtime as runtime;
+pub use parsynt_serve as serve;
 pub use parsynt_suite as suite;
 pub use parsynt_synth as synth;
 pub use parsynt_trace as trace;

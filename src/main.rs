@@ -31,7 +31,7 @@
 
 use parsynt::core::{
     proof_obligations, run_divide_and_conquer_checked, run_map_only_checked, Outcome,
-    Parallelization, Pipeline, PipelineReport,
+    Parallelization, Pipeline, PipelineConfig, PipelineReport, SolutionCache,
 };
 use parsynt::lang::interp::run_program;
 use parsynt::lang::pretty::program_to_string;
@@ -116,6 +116,7 @@ fn main() -> ExitCode {
         "check" => Cli::parse(&args[1..]).and_then(|cli| cmd_check(&cli)),
         "bench-list" => cmd_bench_list(),
         "bench" => Cli::parse(&args[1..]).and_then(|cli| cmd_bench(&cli)),
+        "serve" => Cli::parse(&args[1..]).and_then(|cli| cmd_serve(&cli)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -143,10 +144,24 @@ USAGE:
                        [--pair-width W]
   parsynt bench-list
   parsynt bench <id> [--threads N] [--grain G]
+  parsynt serve [--addr HOST:PORT] [--workers N] [--queue N]
+                [--cache-dir DIR] [--trace-dir DIR] [--timeout-ms T]
 
 Observability (parallelize / run / check / bench):
   --json          print the machine-readable PipelineReport on stdout
   --trace <file>  stream the structured event trace as JSON lines
+
+Caching (parallelize / run / check / bench / serve):
+  --cache-dir DIR  persist synthesized solutions, keyed by the
+                   normal-form fingerprint of the input program;
+                   repeat invocations re-serve the plan without
+                   re-running synthesis
+
+Service (serve):
+  --addr HOST:PORT  bind address (default 127.0.0.1:7341)
+  --workers N       synthesis worker threads (default 4)
+  --queue N         bounded request queue; overflow answers 503
+  --trace-dir DIR   per-request JSONL traces as DIR/<request-id>.jsonl
 
 Synthesis (parallelize / run / check / bench):
   --synth-threads N  screen join/merge candidates on N worker threads
@@ -177,6 +192,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--grain",
     "--synth-threads",
     "--timeout-ms",
+    "--cache-dir",
+    "--addr",
+    "--workers",
+    "--queue",
+    "--trace-dir",
 ];
 /// Boolean switches.
 const SWITCHES: &[&str] = &["--brackets", "--json"];
@@ -308,16 +328,41 @@ fn trace_sink(cli: &Cli) -> Result<Option<Arc<WriterSink<BufWriter<File>>>>, Cli
     }
 }
 
-/// Run the observable pipeline, wiring in the `--trace` sink.
+/// Open the `--cache-dir` persistent solution cache, if requested.
+fn cache_from(cli: &Cli) -> Result<Option<Arc<SolutionCache>>, CliError> {
+    match cli.value("--cache-dir") {
+        None => Ok(None),
+        Some(dir) => SolutionCache::persistent(
+            std::path::Path::new(dir),
+            parsynt::core::cache::DEFAULT_CAPACITY,
+        )
+        .map(|cache| Some(Arc::new(cache)))
+        .map_err(|source| CliError::Io {
+            path: dir.to_owned(),
+            source,
+        }),
+    }
+}
+
+/// Run the observable pipeline, wiring in the `--trace` sink and the
+/// `--cache-dir` solution cache.
 fn run_pipeline(
     program: &Program,
     profile: InputProfile,
     cfg: SynthConfig,
     sink: Option<&Arc<WriterSink<BufWriter<File>>>>,
+    cache: Option<Arc<SolutionCache>>,
 ) -> Result<PipelineReport, CliError> {
-    let mut pipeline = Pipeline::new(program).profile(profile).config(cfg);
+    let mut pipeline = Pipeline::new(program).configure(
+        PipelineConfig::default()
+            .with_profile(profile)
+            .with_synth(cfg),
+    );
     if let Some(sink) = sink {
         pipeline = pipeline.sink_arc(Arc::clone(sink) as Arc<dyn TraceSink>);
+    }
+    if let Some(cache) = cache {
+        pipeline = pipeline.cache(cache);
     }
     pipeline
         .run()
@@ -369,6 +414,7 @@ fn cmd_parallelize(cli: &Cli) -> Result<(), CliError> {
         profile_from(cli)?,
         config_from(cli)?,
         sink.as_ref(),
+        cache_from(cli)?,
     )?;
     if cli.switch("--json") {
         println!("{}", report.to_json_pretty());
@@ -393,6 +439,7 @@ fn cmd_run(cli: &Cli) -> Result<(), CliError> {
         profile_from(cli)?,
         config_from(cli)?,
         sink.as_ref(),
+        cache_from(cli)?,
     )?;
     let json = cli.switch("--json");
     let plan = &report.parallelization;
@@ -459,6 +506,7 @@ fn cmd_check(cli: &Cli) -> Result<(), CliError> {
         profile_from(cli)?,
         config_from(cli)?,
         sink.as_ref(),
+        cache_from(cli)?,
     )?;
     deadline_check(&report)?;
     if !report.parallelization.is_divide_and_conquer() {
@@ -479,6 +527,32 @@ fn cmd_check(cli: &Cli) -> Result<(), CliError> {
     }
     println!("homomorphism law h(x • y) = h(x) ⊙ h(y) held on {checks} random splits ✓");
     Ok(())
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), CliError> {
+    let mut config = parsynt::serve::ServeConfig::default();
+    if let Some(addr) = cli.value("--addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(workers) = cli.parsed::<usize>("--workers")? {
+        config.workers = workers;
+    }
+    if let Some(depth) = cli.parsed::<usize>("--queue")? {
+        config.queue_depth = depth;
+    }
+    config.cache_dir = cli.value("--cache-dir").map(Into::into);
+    config.trace_dir = cli.value("--trace-dir").map(Into::into);
+    config.default_timeout_ms = cli.parsed::<u64>("--timeout-ms")?;
+
+    let addr = config.addr.clone();
+    let server = parsynt::serve::Server::bind(config)
+        .map_err(|source| CliError::Io { path: addr, source })?;
+    println!("parsynt-serve listening on http://{}", server.local_addr());
+    println!("  POST /parallelize   GET /healthz   GET /stats");
+    server.run().map_err(|source| CliError::Io {
+        path: "serve".to_owned(),
+        source,
+    })
 }
 
 fn cmd_bench_list() -> Result<(), CliError> {
@@ -508,6 +582,7 @@ fn cmd_bench(cli: &Cli) -> Result<(), CliError> {
         b.profile.clone(),
         config_from(cli)?,
         sink.as_ref(),
+        cache_from(cli)?,
     )?;
     let json = cli.switch("--json");
     if !json {

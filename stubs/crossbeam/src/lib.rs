@@ -1,0 +1,130 @@
+//! Offline stand-in for `crossbeam`, covering the `deque` API used by
+//! the runtime's work-stealing executor. Backed by a mutexed
+//! `VecDeque` — correct, if not lock-free.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// LIFO pop from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// FIFO steal from the opposite end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Steal, Worker};
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for `rand` covering the surface this workspace
+//! uses: `SmallRng::seed_from_u64`, `gen_range` over integer ranges,
+//! `gen_bool`, and `gen_ratio`. Deterministic SplitMix64 generator.
+
+use std::ops::{Range, RangeInclusive};
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn sample_below(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling; bias is negligible for a stub.
+    let x = rng.next_u64();
+    ((x as u128 * span as u128) >> 64) as u64
+}
+
+/// Types samplable from a uniform range (the pivot that lets integer
+/// literal types infer from the surrounding expression, as with the
+/// real crate's `SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let off = sample_below(rng, span as u64);
+                ((low as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+/// Range types usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_range(rng, start, end, true)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            numerator <= denominator && denominator > 0,
+            "gen_ratio: invalid ratio"
+        );
+        sample_below(self, denominator as u64) < numerator as u64
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: simple, fast, full-period, never sticks (even at seed 0).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            assert_eq!(x, b.gen_range(-5i64..5));
+        }
+        let mut zero = SmallRng::seed_from_u64(0);
+        let vals: Vec<u64> = (0..4).map(|_| zero.next_u64()).collect();
+        assert!(
+            vals.windows(2).any(|w| w[0] != w[1]),
+            "seed 0 must not stick"
+        );
+    }
+
+    #[test]
+    fn gen_bool_and_ratio_extremes() {
+        let mut r = SmallRng::seed_from_u64(7);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_ratio(0, 10));
+        assert!(r.gen_ratio(10, 10));
+    }
+}

@@ -1,0 +1,713 @@
+//! Derive macros for the offline `serde` stand-in. Parses the item
+//! token stream by hand (no `syn`/`quote` in this build environment)
+//! and generates `to_value` / `from_value` impls over the stub's
+//! JSON-shaped `serde::Value` data model.
+//!
+//! Supported shapes: non-generic named structs, tuple structs, and
+//! enums with unit / newtype / tuple / struct variants.
+//! Supported attributes: `#[serde(untagged)]`, `#[serde(tag = "...")]`,
+//! `#[serde(rename_all = "snake_case")]`, `#[serde(rename = "...")]`,
+//! `#[serde(flatten)]`, `#[serde(default)]`,
+//! `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct Opts {
+    untagged: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    rename: Option<String>,
+    flatten: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    opts: Opts,
+    name: String,
+    ty: String,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype(String),
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    opts: Opts,
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    opts: Opts,
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn strip_quotes(lit: &str) -> String {
+    let t = lit.trim();
+    if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+        t[1..t.len() - 1].to_owned()
+    } else {
+        t.to_owned()
+    }
+}
+
+/// Parse the comma-separated entries of one `#[serde(...)]` list.
+fn parse_serde_list(stream: TokenStream, opts: &mut Opts) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let mut value: Option<String> = None;
+        if i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == '=' {
+                    i += 1;
+                    if i < toks.len() {
+                        value = Some(strip_quotes(&toks[i].to_string()));
+                        i += 1;
+                    }
+                }
+            }
+        }
+        match key.as_str() {
+            "untagged" => opts.untagged = true,
+            "tag" => opts.tag = value.clone(),
+            "rename_all" => opts.rename_all = value.clone(),
+            "rename" => opts.rename = value.clone(),
+            "flatten" => opts.flatten = true,
+            "default" => opts.default = true,
+            "skip_serializing_if" => opts.skip_serializing_if = value.clone(),
+            _ => {} // unknown/unsupported options are ignored
+        }
+        // skip to past the next comma
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes, folding `serde` options in.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> Opts {
+    let mut opts = Opts::default();
+    while *i + 1 < toks.len() {
+        let is_attr = matches!(
+            (&toks[*i], &toks[*i + 1]),
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket
+        );
+        if !is_attr {
+            break;
+        }
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(list)) = inner.get(1) {
+                        parse_serde_list(list.stream(), &mut opts);
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    opts
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Collect a type's tokens up to a top-level `,` (angle-bracket aware);
+/// consumes the trailing comma if present.
+fn collect_type(toks: &[TokenTree], i: &mut usize) -> String {
+    let mut depth: i32 = 0;
+    let mut ty: Vec<TokenTree> = Vec::new();
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        ty.push(toks[*i].clone());
+        *i += 1;
+    }
+    ty.into_iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let opts = parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // expect ':'
+        i += 1;
+        let ty = collect_type(&toks, &mut i);
+        fields.push(Field { opts, name, ty });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut tys = Vec::new();
+    while i < toks.len() {
+        let _opts = parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let ty = collect_type(&toks, &mut i);
+        if !ty.is_empty() {
+            tys.push(ty);
+        }
+    }
+    tys
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let opts = parse_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let tys = parse_tuple_fields(g.stream());
+                i += 1;
+                if tys.len() == 1 {
+                    VariantKind::Newtype(tys.into_iter().next().unwrap())
+                } else {
+                    VariantKind::Tuple(tys)
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { opts, name, kind });
+        // consume trailing comma
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let opts = parse_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_owned()),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".to_owned()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generics on `{name}` unsupported"
+            ));
+        }
+    }
+    let body = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => return Err("expected enum body".to_owned()),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { opts, name, body })
+}
+
+// ---------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------
+
+fn apply_case(opts: &Opts, container: &Opts, name: &str) -> String {
+    if let Some(renamed) = &opts.rename {
+        return renamed.clone();
+    }
+    match container.rename_all.as_deref() {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        _ => name.to_owned(),
+    }
+}
+
+/// Push map entries for a struct's fields, reading from `{access}{name}`.
+fn ser_fields_into(out: &mut String, fields: &[Field], self_prefix: bool) {
+    for f in fields {
+        let access = if self_prefix {
+            format!("&self.{}", f.name)
+        } else {
+            f.name.clone()
+        };
+        let key = f.opts.rename.clone().unwrap_or_else(|| f.name.clone());
+        let push = if f.opts.flatten {
+            format!(
+                "match ::serde::Serialize::to_value({access}) {{ \
+                   ::serde::Value::Map(__e) => __m.extend(__e), \
+                   __other => __m.push((\"{key}\".to_string(), __other)), \
+                 }}\n"
+            )
+        } else {
+            format!("__m.push((\"{key}\".to_string(), ::serde::Serialize::to_value({access})));\n")
+        };
+        if let Some(pred) = &f.opts.skip_serializing_if {
+            out.push_str(&format!("if !({pred})({access}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+        }
+    }
+}
+
+/// Emit field initializers reading from the map slice expr `__map`
+/// (with the full value available as `__v` for flattened fields).
+fn de_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = f.opts.rename.clone().unwrap_or_else(|| f.name.clone());
+        let ty = &f.ty;
+        if f.opts.flatten {
+            out.push_str(&format!(
+                "{name}: <{ty} as ::serde::Deserialize>::from_value(__v)?,\n",
+                name = f.name
+            ));
+        } else if f.opts.default {
+            out.push_str(&format!(
+                "{name}: match ::serde::__find(__map, \"{key}\") {{ \
+                   Some(__fv) => <{ty} as ::serde::Deserialize>::from_value(__fv)?, \
+                   None => ::std::default::Default::default(), \
+                 }},\n",
+                name = f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}: match ::serde::__find(__map, \"{key}\") {{ \
+                   Some(__fv) => <{ty} as ::serde::Deserialize>::from_value(__fv)?, \
+                   None => <{ty} as ::serde::Deserialize>::from_missing(\"{key}\")?, \
+                 }},\n",
+                name = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn field_pattern(fields: &[Field]) -> String {
+    let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+    names.join(", ")
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut b = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            ser_fields_into(&mut b, fields, true);
+            b.push_str("::serde::Value::Map(__m)\n");
+            b
+        }
+        Body::TupleStruct(tys) if tys.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_owned()
+        }
+        Body::TupleStruct(tys) => {
+            let items: Vec<String> = (0..tys.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vkey = apply_case(&v.opts, &item.opts, &v.name);
+                let arm = if item.opts.untagged {
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{v} => ::serde::Value::Null,\n", v = v.name)
+                        }
+                        VariantKind::Newtype(_) => format!(
+                            "{name}::{v}(__x) => ::serde::Serialize::to_value(__x),\n",
+                            v = v.name
+                        ),
+                        VariantKind::Tuple(tys) => {
+                            let binds: Vec<String> =
+                                (0..tys.len()).map(|i| format!("__x{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Seq(vec![{items}]),\n",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut b = String::from(
+                                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                            );
+                            ser_fields_into(&mut b, fields, false);
+                            format!(
+                                "{name}::{v} {{ {pat} }} => {{ {b} ::serde::Value::Map(__m) }}\n",
+                                v = v.name,
+                                pat = field_pattern(fields)
+                            )
+                        }
+                    }
+                } else if let Some(tag) = &item.opts.tag {
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Map(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{vkey}\".to_string()))]),\n",
+                            v = v.name
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let mut b = format!(
+                                "let mut __m: Vec<(String, ::serde::Value)> = vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{vkey}\".to_string()))];\n"
+                            );
+                            ser_fields_into(&mut b, fields, false);
+                            format!(
+                                "{name}::{v} {{ {pat} }} => {{ {b} ::serde::Value::Map(__m) }}\n",
+                                v = v.name,
+                                pat = field_pattern(fields)
+                            )
+                        }
+                        _ => format!(
+                            "{name}::{v}(..) => panic!(\"serde stub: internally tagged newtype/tuple variants unsupported\"),\n",
+                            v = v.name
+                        ),
+                    }
+                } else {
+                    // externally tagged (serde default)
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{vkey}\".to_string()),\n",
+                            v = v.name
+                        ),
+                        VariantKind::Newtype(_) => format!(
+                            "{name}::{v}(__x) => ::serde::Value::Map(vec![(\"{vkey}\".to_string(), ::serde::Serialize::to_value(__x))]),\n",
+                            v = v.name
+                        ),
+                        VariantKind::Tuple(tys) => {
+                            let binds: Vec<String> =
+                                (0..tys.len()).map(|i| format!("__x{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Map(vec![(\"{vkey}\".to_string(), ::serde::Value::Seq(vec![{items}]))]),\n",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut b = String::from(
+                                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                            );
+                            ser_fields_into(&mut b, fields, false);
+                            format!(
+                                "{name}::{v} {{ {pat} }} => {{ {b} ::serde::Value::Map(vec![(\"{vkey}\".to_string(), ::serde::Value::Map(__m))]) }}\n",
+                                v = v.name,
+                                pat = field_pattern(fields)
+                            )
+                        }
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => format!(
+            "let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+             ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+            fields = de_fields(fields)
+        ),
+        Body::TupleStruct(tys) if tys.len() == 1 => format!(
+            "::std::result::Result::Ok({name}(<{ty} as ::serde::Deserialize>::from_value(__v)?))",
+            ty = tys[0]
+        ),
+        Body::TupleStruct(tys) => {
+            let mut b = format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n",
+                n = tys.len()
+            );
+            let items: Vec<String> = tys
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| {
+                    format!("<{ty} as ::serde::Deserialize>::from_value(&__items[{i}])?")
+                })
+                .collect();
+            b.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            b
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            if item.opts.untagged {
+                let mut b = String::new();
+                for v in variants {
+                    match &v.kind {
+                        VariantKind::Unit => b.push_str(&format!(
+                            "if __v.is_null() {{ return ::std::result::Result::Ok({name}::{v}); }}\n",
+                            v = v.name
+                        )),
+                        VariantKind::Newtype(ty) => b.push_str(&format!(
+                            "if let ::std::result::Result::Ok(__x) = <{ty} as ::serde::Deserialize>::from_value(__v) {{ return ::std::result::Result::Ok({name}::{v}(__x)); }}\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(tys) => b.push_str(&format!(
+                            "if let ::std::result::Result::Ok(__x) = <({tys},) as ::serde::Deserialize>::from_value(__v) {{ let ({binds},) = __x; return ::std::result::Result::Ok({name}::{v}({binds})); }}\n",
+                            tys = tys.join(", "),
+                            binds = (0..tys.len())
+                                .map(|i| format!("__x{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => b.push_str(&format!(
+                            "if let Some(__map) = __v.as_map() {{\n\
+                               let __try = || -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {fields} }})\n\
+                               }};\n\
+                               if let ::std::result::Result::Ok(__x) = __try() {{ return ::std::result::Result::Ok(__x); }}\n\
+                             }}\n",
+                            v = v.name,
+                            fields = de_fields(fields)
+                        )),
+                    }
+                }
+                b.push_str(&format!(
+                    "::std::result::Result::Err(::serde::Error::custom(\"no untagged variant of {name} matched\"))"
+                ));
+                b
+            } else if let Some(tag) = &item.opts.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let vkey = apply_case(&v.opts, &item.opts, &v.name);
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "\"{vkey}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => arms.push_str(&format!(
+                            "\"{vkey}\" => ::std::result::Result::Ok({name}::{v} {{ {fields} }}),\n",
+                            v = v.name,
+                            fields = de_fields(fields)
+                        )),
+                        _ => arms.push_str(&format!(
+                            "\"{vkey}\" => ::std::result::Result::Err(::serde::Error::custom(\"unsupported variant shape\")),\n"
+                        )),
+                    }
+                }
+                format!(
+                    "let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = ::serde::__find(__map, \"{tag}\").and_then(::serde::Value::as_str).ok_or_else(|| ::serde::Error::custom(\"missing tag `{tag}`\"))?;\n\
+                     match __tag {{\n{arms}\
+                       __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} tag `{{__other}}`\"))),\n\
+                     }}"
+                )
+            } else {
+                // externally tagged
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let vkey = apply_case(&v.opts, &item.opts, &v.name);
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{vkey}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Newtype(ty) => keyed_arms.push_str(&format!(
+                            "\"{vkey}\" => ::std::result::Result::Ok({name}::{v}(<{ty} as ::serde::Deserialize>::from_value(__payload)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(tys) => keyed_arms.push_str(&format!(
+                            "\"{vkey}\" => {{ let ({binds},) = <({tys},) as ::serde::Deserialize>::from_value(__payload)?; ::std::result::Result::Ok({name}::{v}({binds})) }}\n",
+                            tys = tys.join(", "),
+                            binds = (0..tys.len())
+                                .map(|i| format!("__x{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => keyed_arms.push_str(&format!(
+                            "\"{vkey}\" => {{ let __v = __payload; let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?; ::std::result::Result::Ok({name}::{v} {{ {fields} }}) }}\n",
+                            v = v.name,
+                            fields = de_fields(fields)
+                        )),
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                       ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                       }},\n\
+                       ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__key, __payload) = &__entries[0];\n\
+                         match __key.as_str() {{\n{keyed_arms}\
+                           __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                       }}\n\
+                       _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+fn run(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().unwrap_or_else(|e| {
+            format!("compile_error!(\"serde stub derive: {e}\");")
+                .parse()
+                .unwrap()
+        }),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, gen_deserialize)
+}

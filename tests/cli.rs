@@ -99,6 +99,46 @@ fn parallelize_json_emits_a_report() {
     assert!(report.phase_timings.contains_key("total"));
 }
 
+/// `--cache-dir` across two invocations of the binary: the second run
+/// finds the first run's solution on disk and reports a cache hit
+/// without synthesis timings.
+#[test]
+fn cache_dir_reserves_across_processes() {
+    let cache_dir = std::env::temp_dir().join(format!("parsynt-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let args = [
+        "parallelize",
+        "programs/sum2d.psl",
+        "--json",
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ];
+
+    let (ok, stdout, stderr) = parsynt(&args);
+    assert!(ok, "stderr: {stderr}");
+    let cold: parsynt::core::PipelineReportJson = serde_json::from_str(&stdout).unwrap();
+    assert!(!cold.cache_hit);
+    assert!(cold.phase_timings.contains_key("synthesize"));
+
+    let (ok, stdout, stderr) = parsynt(&args);
+    assert!(ok, "stderr: {stderr}");
+    let warm: parsynt::core::PipelineReportJson = serde_json::from_str(&stdout).unwrap();
+    assert!(warm.cache_hit, "{stdout}");
+    assert!(!warm.phase_timings.contains_key("synthesize"), "{stdout}");
+    assert_eq!(warm.outcome, cold.outcome);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// `serve` is wired into the binary: a bad bind address fails fast with
+/// the io exit code rather than being rejected as an unknown command.
+#[test]
+fn serve_rejects_an_unbindable_address() {
+    let (ok, _, stderr) = parsynt(&["serve", "--addr", "256.0.0.1:0"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
 /// The acceptance path: `bench <id> --json --trace out.jsonl` must emit
 /// a serde-valid `PipelineReport` with non-zero normalize/synthesize
 /// timings AND a JSONL trace carrying rewrite-rule, CEGIS-round, and

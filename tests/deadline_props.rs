@@ -4,7 +4,7 @@
 //! liveness half of the deadline contract; `schema::deadline` tests
 //! cover the accounting half.
 
-use parsynt::core::Pipeline;
+use parsynt::core::{Pipeline, PipelineConfig};
 use parsynt::lang::parse;
 use parsynt::suite::all_benchmarks;
 use parsynt::synth::report::SynthConfig;
@@ -25,8 +25,11 @@ proptest! {
         let cfg = SynthConfig::default().with_seed(seed).with_timeout_ms(0);
         let started = Instant::now();
         let report = Pipeline::new(&program)
-            .profile(b.profile.clone())
-            .config(cfg)
+            .configure(
+                PipelineConfig::default()
+                    .with_profile(b.profile.clone())
+                    .with_synth(cfg),
+            )
             .run()
             .unwrap_or_else(|e| panic!("{}: {e}", b.id));
         let elapsed = started.elapsed();

@@ -6,7 +6,7 @@
 //! cargo test --release --test full_suite -- --ignored
 //! ```
 
-use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline};
+use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline, PipelineConfig};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::parse;
 use parsynt::suite::{all_benchmarks, ExpectedOutcome};
@@ -19,7 +19,7 @@ fn every_benchmark_matches_the_paper_outcome() {
     for b in all_benchmarks() {
         let program = parse(b.source).expect(b.id);
         let plan = Pipeline::new(&program)
-            .profile(b.profile.clone())
+            .configure(PipelineConfig::default().with_profile(b.profile.clone()))
             .run()
             .unwrap_or_else(|e| panic!("{}: {e}", b.id))
             .parallelization;

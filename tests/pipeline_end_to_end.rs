@@ -4,7 +4,7 @@
 //! interpreter. (The full 27-benchmark sweep is the `table1` harness
 //! binary — it takes several minutes.)
 
-use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline};
+use parsynt::core::{run_divide_and_conquer, Outcome, Pipeline, PipelineConfig};
 use parsynt::lang::interp::run_program;
 use parsynt::lang::parse;
 use parsynt::suite::{benchmark, ExpectedOutcome};
@@ -18,8 +18,11 @@ fn run_benchmark(id: &str) {
     let program = parse(b.source).expect("parses");
     let cfg = SynthConfig::default();
     let plan = Pipeline::new(&program)
-        .profile(b.profile.clone())
-        .config(cfg)
+        .configure(
+            PipelineConfig::default()
+                .with_profile(b.profile.clone())
+                .with_synth(cfg),
+        )
         .run()
         .expect("pipeline runs")
         .parallelization;
@@ -98,6 +101,9 @@ fn custom_profile_is_respected() {
     )
     .unwrap();
     let profile = InputProfile::default().with_value_range(1, 9);
-    let report = Pipeline::new(&program).profile(profile).run().unwrap();
+    let report = Pipeline::new(&program)
+        .configure(PipelineConfig::default().with_profile(profile))
+        .run()
+        .unwrap();
     assert!(report.parallelization.is_divide_and_conquer());
 }

@@ -6,7 +6,7 @@
 //! minimum generation index — exactly the candidate the sequential
 //! scan would accept.
 
-use parsynt::core::{Outcome, Pipeline};
+use parsynt::core::{Outcome, Pipeline, PipelineConfig};
 use parsynt::lang::parse;
 use parsynt::lang::pretty::program_to_string;
 use parsynt::suite::{all_benchmarks, benchmark, Benchmark};
@@ -24,8 +24,11 @@ struct Artifacts {
 fn synthesize(b: &Benchmark, threads: usize) -> Artifacts {
     let program = parse(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.id));
     let plan = Pipeline::new(&program)
-        .profile(b.profile.clone())
-        .config(SynthConfig::default().with_threads(threads))
+        .configure(
+            PipelineConfig::default()
+                .with_profile(b.profile.clone())
+                .with_synth(SynthConfig::default().with_threads(threads)),
+        )
         .run()
         .unwrap_or_else(|e| panic!("{}: {e}", b.id))
         .parallelization;

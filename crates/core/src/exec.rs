@@ -62,7 +62,7 @@ fn emit_fallback(failed_chunks: usize) {
 }
 
 /// Split `n` items into at most `parts` contiguous non-empty chunks.
-fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+pub(crate) fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     let parts = parts.max(1).min(n.max(1));
     let base = n / parts;
     let extra = n % parts;
@@ -380,10 +380,7 @@ pub fn run_map_only_checked(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::run_schema;
-    use parsynt_lang::parse;
-    use parsynt_synth::examples::InputProfile;
-    use parsynt_synth::report::SynthConfig;
+    use crate::testplans;
 
     #[test]
     fn chunking_is_contiguous_and_complete() {
@@ -406,12 +403,7 @@ mod tests {
 
     #[test]
     fn dnc_execution_matches_sequential() {
-        let p = parse(
-            "input a : seq<seq<int>>; state s : int = 0;\n\
-             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
-        )
-        .unwrap();
-        let plan = run_schema(&p, &InputProfile::default(), &SynthConfig::default()).unwrap();
+        let plan = testplans::sum2d();
         let input = Value::seq2_of_ints(&[
             vec![1, 2, 3],
             vec![-4, 5, 6],
@@ -422,36 +414,20 @@ mod tests {
         let seq =
             parsynt_lang::interp::run_program(&plan.program, std::slice::from_ref(&input)).unwrap();
         for threads in [1, 2, 3, 8] {
-            let par = run_divide_and_conquer(&plan, std::slice::from_ref(&input), threads).unwrap();
+            let par = run_divide_and_conquer(plan, std::slice::from_ref(&input), threads).unwrap();
             assert_eq!(par, seq, "threads = {threads}");
         }
     }
 
     #[test]
     fn map_only_execution_matches_sequential() {
-        let p = parse(
-            "input a : seq<seq<int>>;\n\
-             state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
-             for i in 0 .. len(a) {\n\
-               let lo : int = 0;\n\
-               for j in 0 .. len(a[i]) {\n\
-                 lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
-                 if (offset + lo < 0) { bal = false; }\n\
-               }\n\
-               offset = offset + lo;\n\
-               if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
-             }\n\
-             return cnt;",
-        )
-        .unwrap();
-        let profile = InputProfile::default().with_choices(&[-1, 1]);
-        let plan = run_schema(&p, &profile, &SynthConfig::default()).unwrap();
+        let plan = testplans::balanced_parens();
         assert!(plan.is_map_only());
         // "(()" ")" "()" rows
         let input = Value::seq2_of_ints(&[vec![1, 1, -1], vec![-1], vec![1, -1]]);
         let seq =
             parsynt_lang::interp::run_program(&plan.program, std::slice::from_ref(&input)).unwrap();
-        let par = run_map_only(&plan, &[input], 3).unwrap();
+        let par = run_map_only(plan, &[input], 3).unwrap();
         assert_eq!(
             par.scalar_named(&plan.program, "cnt"),
             seq.scalar_named(&plan.program, "cnt")

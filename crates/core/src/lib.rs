@@ -48,6 +48,9 @@ pub mod fingerprint;
 pub mod pipeline;
 pub mod proof;
 pub mod schema;
+pub mod stream;
+#[cfg(test)]
+mod testplans;
 
 pub use budget::{budget_of, validate_budget, Budget};
 pub use cache::{CacheStats, CachedSolution, SolutionCache};
@@ -60,7 +63,9 @@ pub use parsynt_runtime::{Backend, RunConfig};
 pub use parsynt_trace::TraceConfig;
 pub use parsynt_trace::{CancelToken, Deadline};
 pub use pipeline::{
-    Pipeline, PipelineConfig, PipelineReport, PipelineReportJson, SearchBudget, SCHEMA_VERSION,
+    Pipeline, PipelineConfig, PipelineReport, PipelineReportJson, SearchBudget, StreamReportJson,
+    SCHEMA_VERSION,
 };
 pub use proof::{check_homomorphism_law_exhaustive, check_join_associativity, proof_obligations};
 pub use schema::{Outcome, Parallelization, Report};
+pub use stream::{chunk_value_inputs, run_stream_checked, StreamExecOutcome, StreamSnapshot};

@@ -36,6 +36,7 @@ use crate::exec::{run_divide_and_conquer_checked, run_map_only_checked};
 use crate::fingerprint::{fingerprint, fingerprint_hex};
 use crate::proof::homomorphism_law_checks;
 use crate::schema::{run_schema, Outcome, Parallelization, Report};
+use crate::stream::{chunk_value_inputs, run_stream_checked, StreamSnapshot};
 use parsynt_lang::ast::Program;
 use parsynt_lang::error::{LangError, Result};
 use parsynt_lang::interp::StateVec;
@@ -234,48 +235,12 @@ impl<'p> Pipeline<'p> {
         }
     }
 
-    /// Set the input profile (shape/value distribution for bounded
-    /// verification).
-    #[deprecated(
-        since = "0.3.0",
-        note = "the profile is part of `PipelineConfig` now: \
-                `.configure(PipelineConfig::default().with_profile(p))`"
-    )]
-    pub fn profile(mut self, profile: InputProfile) -> Self {
-        self.config.profile = profile;
-        self
-    }
-
-    /// Set the synthesis configuration, keeping the other parts of the
-    /// pipeline config.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `.configure(PipelineConfig::default().with_synth(cfg))` \
-                — `configure` is the single entry point"
-    )]
-    pub fn config(mut self, config: SynthConfig) -> Self {
-        self.config.synth = config;
-        self
-    }
-
     /// Set the full [`PipelineConfig`] (synthesis, execution, tracing,
-    /// profile, and budget). This is the canonical configuration entry
-    /// point; it replaces the whole config, including anything set by
-    /// the deprecated per-part setters.
+    /// profile, and budget). This is the single configuration entry
+    /// point; the pre-0.3 per-part setters (`profile`, `config`,
+    /// `budget`) were removed in 0.4.0.
     pub fn configure(mut self, config: PipelineConfig) -> Self {
         self.config = config;
-        self
-    }
-
-    /// Cap the synthesis search; overrides the corresponding
-    /// [`SynthConfig`] fields at [`Pipeline::run`] time.
-    #[deprecated(
-        since = "0.3.0",
-        note = "the budget is part of `PipelineConfig` now: \
-                `.configure(PipelineConfig::default().with_budget(b))`"
-    )]
-    pub fn budget(mut self, budget: SearchBudget) -> Self {
-        self.config.budget = Some(budget);
         self
     }
 
@@ -345,6 +310,7 @@ impl<'p> Pipeline<'p> {
                     profile,
                     seed: cached.seed,
                     run,
+                    stream: None,
                 });
             }
         }
@@ -402,6 +368,7 @@ impl<'p> Pipeline<'p> {
             profile,
             seed: cfg.seed,
             run,
+            stream: None,
         })
     }
 }
@@ -433,6 +400,7 @@ pub struct PipelineReport {
     profile: InputProfile,
     seed: u64,
     run: RunConfig,
+    stream: Option<StreamReportJson>,
 }
 
 impl PipelineReport {
@@ -494,6 +462,67 @@ impl PipelineReport {
         Ok(outcome.state)
     }
 
+    /// Execute the synthesized parallelization as an online aggregation:
+    /// the main input is consumed in `chunk_rows`-row chunks, each chunk
+    /// summarized in parallel and folded into the running state (by the
+    /// synthesized join for divide-and-conquer plans, by continuing the
+    /// sequential outer fold for map-only plans). The end-of-input state
+    /// is byte-identical to [`PipelineReport::execute`] on the whole
+    /// input, and the run is summarized in the report's
+    /// [`stream`](PipelineReport::stream_report) block.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelineReport::execute`], plus an error on an empty stream
+    /// (zero rows leave input-dependent initializers undefined).
+    pub fn execute_stream(&mut self, inputs: &[Value], chunk_rows: usize) -> Result<StateVec> {
+        self.execute_stream_with(inputs, chunk_rows, 0, |_| {})
+    }
+
+    /// Like [`PipelineReport::execute_stream`], additionally handing
+    /// every `snapshot_every`-th progressive partial-prefix
+    /// [`StreamSnapshot`] to `on_snapshot` (0 = no snapshots).
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelineReport::execute_stream`].
+    pub fn execute_stream_with<F>(
+        &mut self,
+        inputs: &[Value],
+        chunk_rows: usize,
+        snapshot_every: usize,
+        on_snapshot: F,
+    ) -> Result<StateVec>
+    where
+        F: FnMut(&StreamSnapshot),
+    {
+        let chunks = chunk_value_inputs(&self.parallelization, inputs, chunk_rows)?;
+        let out = run_stream_checked(
+            &self.parallelization,
+            chunks,
+            self.run.threads,
+            snapshot_every,
+            on_snapshot,
+        )?;
+        self.degraded |= out.degraded_chunks > 0;
+        self.stream = Some(StreamReportJson {
+            chunks: out.chunks,
+            elements: out.elements,
+            snapshots: out.snapshots,
+            degraded_chunks: out.degraded_chunks,
+            recovered_chunks: out.recovered_chunks,
+            elapsed_secs: out.elapsed.as_secs_f64(),
+        });
+        Ok(out.state)
+    }
+
+    /// The summary of the last [`PipelineReport::execute_stream`] run on
+    /// this report, if any. Batch-only reports carry no stream block and
+    /// serialize byte-identically to pre-0.4 documents.
+    pub fn stream_report(&self) -> Option<&StreamReportJson> {
+        self.stream.as_ref()
+    }
+
     /// Re-check the homomorphism law `h(x • y) = h(x) ⊙ h(y)` on
     /// `tests` random splits drawn from the run's own profile and seed.
     /// Returns the number of checks performed.
@@ -534,6 +563,7 @@ impl PipelineReport {
                 .map(|(phase, d)| (phase.clone(), d.as_secs_f64()))
                 .collect(),
             counters: self.counters.clone(),
+            stream: self.stream.clone(),
         }
     }
 
@@ -597,6 +627,31 @@ pub struct PipelineReportJson {
     pub phase_timings: BTreeMap<String, f64>,
     /// Event counters keyed `"phase.name"`.
     pub counters: BTreeMap<String, u64>,
+    /// Streaming-execution summary, present only when the report ran
+    /// [`PipelineReport::execute_stream`]. Batch responses omit the key
+    /// entirely, keeping them byte-identical to pre-0.4 documents under
+    /// the same [`SCHEMA_VERSION`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stream: Option<StreamReportJson>,
+}
+
+/// The `stream` block of a [`PipelineReportJson`]: how the online
+/// aggregation consumed its input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReportJson {
+    /// Stream chunks consumed.
+    pub chunks: usize,
+    /// Outer-dimension elements consumed.
+    pub elements: u64,
+    /// Progressive snapshots emitted.
+    pub snapshots: usize,
+    /// Chunks that degraded to a sequential re-run after persistent
+    /// faults.
+    pub degraded_chunks: usize,
+    /// Panicking attempts recovered by a retry.
+    pub recovered_chunks: usize,
+    /// Wall clock of the whole streaming run, in seconds.
+    pub elapsed_secs: f64,
 }
 
 #[cfg(test)]
@@ -660,17 +715,6 @@ mod tests {
         };
         let report = Pipeline::new(&p)
             .configure(PipelineConfig::default().with_budget(budget))
-            .run()
-            .unwrap();
-        assert!(report.parallelization.is_divide_and_conquer());
-    }
-
-    #[test]
-    fn deprecated_setters_still_reach_the_config() {
-        let p = sum2d();
-        #[allow(deprecated)]
-        let report = Pipeline::new(&p)
-            .budget(SearchBudget::quick())
             .run()
             .unwrap();
         assert!(report.parallelization.is_divide_and_conquer());
@@ -771,6 +815,50 @@ mod tests {
         assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.outcome, "divide_and_conquer");
         assert!(back.phase_timings["total"] > 0.0);
+        // Batch responses never carry the 0.4 stream block — the
+        // serialized document is byte-identical to pre-0.4 output.
+        assert!(back.stream.is_none());
+        assert!(!json.contains("\"stream\""), "{json}");
+    }
+
+    #[test]
+    fn execute_stream_matches_batch_and_fills_the_stream_block() {
+        let p = sum2d();
+        let mut report = Pipeline::new(&p)
+            .configure(PipelineConfig::default().with_run_threads(3))
+            .run()
+            .unwrap();
+        let input = parsynt_lang::Value::seq2_of_ints(&[
+            vec![1, 2],
+            vec![3],
+            vec![4, 5, 6],
+            vec![-7],
+            vec![8, 9],
+        ]);
+        let inputs = vec![input];
+        let batch = report.execute(&inputs).unwrap();
+        assert!(report.stream_report().is_none(), "batch run adds no block");
+
+        let mut snaps = Vec::new();
+        let streamed = report
+            .execute_stream_with(&inputs, 2, 1, |s| snaps.push(s.clone()))
+            .unwrap();
+        assert_eq!(streamed, batch);
+        let block = report.stream_report().expect("stream block recorded");
+        assert_eq!((block.chunks, block.elements), (3, 5));
+        assert_eq!(block.snapshots, snaps.len());
+        assert_eq!(block.degraded_chunks, 0);
+        assert_eq!(snaps.last().map(|s| s.elements), Some(5));
+
+        // The JSON now carries the stream block and still round-trips.
+        let json = report.to_json();
+        assert!(json.contains("\"stream\""), "{json}");
+        let back: PipelineReportJson = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stream.as_ref(), Some(block));
+
+        // An empty stream is a typed error, not a bogus state.
+        let empty = vec![parsynt_lang::Value::seq2_of_ints(&[])];
+        assert!(report.execute_stream(&empty, 4).is_err());
     }
 
     #[test]

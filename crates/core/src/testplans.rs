@@ -1,0 +1,48 @@
+//! Test-only cache of synthesized plans shared across this crate's unit
+//! tests. Join synthesis for the balanced-parentheses fixture costs
+//! minutes in a debug build, so each fixture is synthesized once per
+//! test binary and handed out by reference.
+
+use crate::schema::{run_schema, Parallelization};
+use parsynt_lang::parse;
+use parsynt_synth::examples::InputProfile;
+use parsynt_synth::report::SynthConfig;
+use std::sync::OnceLock;
+
+/// The 2-d sum loop — synthesizes to divide-and-conquer in milliseconds.
+pub(crate) fn sum2d() -> &'static Parallelization {
+    static PLAN: OnceLock<Parallelization> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let p = parse(
+            "input a : seq<seq<int>>; state s : int = 0;\n\
+             for i in 0 .. len(a) { for j in 0 .. len(a[i]) { s = s + a[i][j]; } }",
+        )
+        .expect("sum2d parses");
+        run_schema(&p, &InputProfile::default(), &SynthConfig::default()).expect("sum2d plan")
+    })
+}
+
+/// The §2.1 balanced-parentheses counter — the map-only outcome whose
+/// failed join search dominates test wall-clock.
+pub(crate) fn balanced_parens() -> &'static Parallelization {
+    static PLAN: OnceLock<Parallelization> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let p = parse(
+            "input a : seq<seq<int>>;\n\
+             state offset : int = 0; state bal : bool = true; state cnt : int = 0;\n\
+             for i in 0 .. len(a) {\n\
+               let lo : int = 0;\n\
+               for j in 0 .. len(a[i]) {\n\
+                 lo = lo + (a[i][j] == 1 ? 1 : 0 - 1);\n\
+                 if (offset + lo < 0) { bal = false; }\n\
+               }\n\
+               offset = offset + lo;\n\
+               if (bal && lo == 0 && offset == 0) { cnt = cnt + 1; }\n\
+             }\n\
+             return cnt;",
+        )
+        .expect("balanced-parens parses");
+        let profile = InputProfile::default().with_choices(&[-1, 1]);
+        run_schema(&p, &profile, &SynthConfig::default()).expect("balanced-parens plan")
+    })
+}

@@ -1,11 +1,16 @@
-//! The parallel executors: work-stealing and static scheduling.
+//! The parallel executors: work-stealing and static scheduling, behind
+//! the unified [`Executor`] entry point.
 //!
 //! All chunk and join work runs panic-isolated: a panicking worker is
 //! caught ([`std::panic::catch_unwind`]), its chunk retried once on the
 //! calling thread, and if the retry fails too the whole plan degrades to
-//! a sequential re-execution — reported via [`RunOutcome::degraded`] by
-//! the `try_*` entry points. The classic `run_*` entry points keep their
-//! infallible signatures on top of the same machinery.
+//! a sequential re-execution — reported via [`RunOutcome::degraded`].
+//!
+//! Since 0.4.0 every execution mode is a method on [`Executor`]
+//! (`run`, `run_map_only`, `reduce_tree`, and the streaming
+//! [`Executor::stream`] / [`Executor::run_stream`] sessions of
+//! [`crate::stream`]); the nine pre-0.4 free functions remain as
+//! deprecated shims over the same machinery.
 
 use crate::error::RuntimeError;
 use crate::task::{DncTask, MapOnlyTask};
@@ -20,9 +25,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// uninhabited placeholder otherwise so release builds compile every
 /// injection site away.
 #[cfg(feature = "fault-inject")]
-type FaultArg<'a> = Option<&'a crate::faults::FaultPlan>;
+pub(crate) type FaultArg<'a> = Option<&'a crate::faults::FaultPlan>;
 #[cfg(not(feature = "fault-inject"))]
-type FaultArg<'a> = Option<&'a std::convert::Infallible>;
+pub(crate) type FaultArg<'a> = Option<&'a std::convert::Infallible>;
 
 #[cfg(feature = "fault-inject")]
 #[inline]
@@ -37,7 +42,7 @@ fn inject(_faults: FaultArg<'_>, _chunk: usize, _attempt: u32) -> bool {
 }
 
 /// Render a panic payload for trace events and [`RuntimeError`]s.
-fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -47,7 +52,7 @@ fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn emit_worker_panic(chunk: usize, attempt: u32, payload: &str) {
+pub(crate) fn emit_worker_panic(chunk: usize, attempt: u32, payload: &str) {
     if trace::enabled() {
         trace::point(
             "execute",
@@ -165,28 +170,236 @@ impl Default for RunConfig {
     }
 }
 
+/// The unified executor: one configured entry point for every execution
+/// mode — batch divide-and-conquer ([`Executor::run`]), map-only
+/// ([`Executor::run_map_only`]), partial-list reduction
+/// ([`Executor::reduce_tree`]), and streaming online aggregation
+/// ([`Executor::stream`] / [`Executor::run_stream`]).
+///
+/// Construction is free; the executor holds only configuration and can
+/// be reused across runs (and shared: it is `Clone`). It replaces the
+/// nine pre-0.4 free functions (`run_parallel`, `try_run_parallel`,
+/// `run_parallel_with_faults`, …), which remain as deprecated shims.
+///
+/// ```
+/// use parsynt_runtime::{DncTask, Executor, RunConfig};
+/// struct Sum;
+/// impl DncTask for Sum {
+///     type Item = i64;
+///     type Acc = i64;
+///     fn identity(&self) -> i64 { 0 }
+///     fn work(&self, chunk: &[i64]) -> i64 { chunk.iter().sum() }
+///     fn join(&self, l: i64, r: i64) -> i64 { l + r }
+/// }
+/// let exec = Executor::new(RunConfig::work_stealing(4).with_grain(2));
+/// let data = [1i64, 2, 3, 4, 5];
+/// assert_eq!(exec.run(&Sum, &data).unwrap().value, 15);
+/// assert_eq!(exec.run_sequential(&Sum, &data), 15);
+/// // Streaming: same result, one chunk at a time.
+/// assert_eq!(exec.run_stream(&Sum, data.chunks(2)).unwrap().value, 15);
+/// ```
+///
+/// Under the `fault-inject` cargo feature, [`Executor::with_faults`]
+/// attaches a deterministic [`crate::faults::FaultPlan`] applied to
+/// every chunk attempt of every run on this executor (the harness entry
+/// point that used to be the `*_with_faults` free functions).
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    config: RunConfig,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<crate::faults::FaultPlan>,
+}
+
+impl Executor {
+    /// An executor scheduling with `config`.
+    pub fn new(config: RunConfig) -> Self {
+        Executor {
+            config,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+
+    /// The execution configuration this executor schedules with.
+    pub fn config(&self) -> RunConfig {
+        self.config
+    }
+
+    /// Attach a deterministic fault schedule, applied to every chunk
+    /// attempt of every subsequent run on this executor.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault schedule as the internal executor argument.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn fault_arg(&self) -> FaultArg<'_> {
+        self.faults.as_ref()
+    }
+
+    /// Without the `fault-inject` feature there is never a schedule.
+    #[cfg(not(feature = "fault-inject"))]
+    pub(crate) fn fault_arg(&self) -> FaultArg<'_> {
+        None
+    }
+
+    /// Run the task sequentially on the calling thread (the baseline all
+    /// speedups are relative to). Exactly `task.work(data)`.
+    pub fn run_sequential<T: DncTask>(&self, task: &T, data: &[T::Item]) -> T::Acc {
+        task.work(data)
+    }
+
+    /// Run the task in parallel according to the executor's config.
+    ///
+    /// Equivalent to `task.work(data)` whenever the join satisfies the
+    /// homomorphism law; chunk results are always joined in input order,
+    /// so non-commutative joins are safe. A panicking chunk is retried
+    /// once on the calling thread; persistent failures degrade the run
+    /// to a sequential re-execution ([`RunOutcome::degraded`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WorkerPanicked`] only when even the sequential
+    /// fallback panics (i.e. the task itself is broken).
+    pub fn run<T: DncTask>(
+        &self,
+        task: &T,
+        data: &[T::Item],
+    ) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+        try_run_parallel_impl(task, data, self.config, self.fault_arg())
+    }
+
+    /// Run a map-only task: the `map` phase over all items in parallel
+    /// (static partition over the config's thread count), then the
+    /// sequential `fold` in input order. Panic isolation and recovery
+    /// mirror [`Executor::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WorkerPanicked`] only when even the sequential
+    /// fallback panics.
+    pub fn run_map_only<T: MapOnlyTask>(
+        &self,
+        task: &T,
+        data: &[T::Item],
+    ) -> Result<RunOutcome<T::Acc>, RuntimeError> {
+        try_run_map_only_impl(task, data, self.config.threads, self.fault_arg())
+    }
+
+    /// Join a list of chunk partials as a balanced binary tree, each
+    /// round's joins in parallel: `⌈log₂ c⌉` rounds instead of `c − 1`
+    /// sequential joins — relevant when the join itself is expensive
+    /// (the looped joins of the mtls family, `O(m)` each). Requires only
+    /// associativity: adjacent partials are joined in input order.
+    ///
+    /// A panicking join is retried once on the calling thread (operands
+    /// are cloned so the retry has them).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WorkerPanicked`] when a join fails twice — with
+    /// only partials in hand there is no raw input to re-run.
+    pub fn reduce_tree<T: DncTask>(
+        &self,
+        task: &T,
+        partials: Vec<T::Acc>,
+    ) -> Result<RunOutcome<T::Acc>, RuntimeError>
+    where
+        T::Acc: Clone,
+    {
+        try_reduce_tree_impl(task, partials)
+    }
+
+    /// Open a streaming session: push chunks with
+    /// [`crate::stream::StreamSession::push_chunk`], observe progressive
+    /// partial-prefix aggregates with
+    /// [`crate::stream::StreamSession::snapshot`], and close with
+    /// [`crate::stream::StreamSession::finish`].
+    pub fn stream<'e, T: DncTask>(&'e self, task: &'e T) -> crate::stream::StreamSession<'e, T> {
+        crate::stream::StreamSession::new(self, task)
+    }
+
+    /// Drive a whole chunk iterator through a streaming session and
+    /// return the end-of-input aggregate. By the homomorphism law the
+    /// value is byte-identical to [`Executor::run_sequential`] on the
+    /// concatenation of the chunks, for *any* chunking.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WorkerPanicked`] when a chunk or join fails even
+    /// after retry and sequential re-execution of that chunk.
+    pub fn run_stream<T, I>(
+        &self,
+        task: &T,
+        chunks: I,
+    ) -> Result<crate::stream::StreamOutcome<T::Acc>, RuntimeError>
+    where
+        T: DncTask,
+        T::Acc: Clone,
+        I: IntoIterator,
+        I::Item: AsRef<[T::Item]>,
+    {
+        let mut session = self.stream(task);
+        for chunk in chunks {
+            session.push_chunk(chunk.as_ref())?;
+        }
+        Ok(session.finish())
+    }
+
+    /// [`Executor::run_stream`] over a fallible (I/O-backed) chunk
+    /// source such as [`crate::stream::ReaderChunks`] or
+    /// [`crate::stream::PagedFileChunks`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::stream::StreamError::Io`] on a source error,
+    /// [`crate::stream::StreamError::Runtime`] on an unrecoverable
+    /// worker panic.
+    pub fn run_stream_io<T, I>(
+        &self,
+        task: &T,
+        chunks: I,
+    ) -> Result<crate::stream::StreamOutcome<T::Acc>, crate::stream::StreamError>
+    where
+        T: DncTask,
+        T::Acc: Clone,
+        I: IntoIterator<Item = std::io::Result<Vec<T::Item>>>,
+    {
+        let mut session = self.stream(task);
+        for chunk in chunks {
+            session.push_chunk(&chunk?)?;
+        }
+        Ok(session.finish())
+    }
+}
+
 /// Run the task sequentially (the baseline all speedups are relative
 /// to).
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::run_sequential` (or call `task.work(data)` directly)"
+)]
 pub fn run_sequential<T: DncTask>(task: &T, data: &[T::Item]) -> T::Acc {
     task.work(data)
 }
 
 /// Run the task in parallel according to `config`.
-///
-/// Equivalent to `task.work(data)` whenever the join satisfies the
-/// homomorphism law; chunk results are always joined in input order, so
-/// non-commutative joins are safe. A worker panic is retried once and
-/// then recovered by sequential re-execution; this wrapper only panics
-/// when the sequential fallback itself panics (i.e. the task is broken).
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::new(config).run(task, data)` and take `RunOutcome::value`"
+)]
 pub fn run_parallel<T: DncTask>(task: &T, data: &[T::Item], config: RunConfig) -> T::Acc {
-    match try_run_parallel(task, data, config) {
+    match try_run_parallel_impl(task, data, config, None) {
         Ok(outcome) => outcome.value,
         Err(e) => panic!("{e}"),
     }
 }
 
-/// Panic-isolated variant of [`run_parallel`], reporting retries and
-/// sequential degradation through [`RunOutcome`].
+/// Panic-isolated parallel run, reporting retries and sequential
+/// degradation through [`RunOutcome`].
+#[deprecated(since = "0.4.0", note = "use `Executor::new(config).run(task, data)`")]
 pub fn try_run_parallel<T: DncTask>(
     task: &T,
     data: &[T::Item],
@@ -195,9 +408,13 @@ pub fn try_run_parallel<T: DncTask>(
     try_run_parallel_impl(task, data, config, None)
 }
 
-/// [`try_run_parallel`] with a deterministic fault schedule applied to
-/// every chunk attempt — the entry point of the fault-injection harness.
+/// Parallel run with a deterministic fault schedule applied to every
+/// chunk attempt.
 #[cfg(feature = "fault-inject")]
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::new(config).with_faults(plan.clone()).run(task, data)`"
+)]
 pub fn run_parallel_with_faults<T: DncTask>(
     task: &T,
     data: &[T::Item],
@@ -207,7 +424,7 @@ pub fn run_parallel_with_faults<T: DncTask>(
     try_run_parallel_impl(task, data, config, Some(plan))
 }
 
-fn try_run_parallel_impl<T: DncTask>(
+pub(crate) fn try_run_parallel_impl<T: DncTask>(
     task: &T,
     data: &[T::Item],
     config: RunConfig,
@@ -496,6 +713,10 @@ fn stealing_partials<T: DncTask>(
 ///
 /// Requires only associativity (which every synthesized join has by
 /// Definition 3.2): adjacent partials are always joined in input order.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::reduce_tree` (panic-isolated, returns a `RunOutcome`)"
+)]
 pub fn reduce_tree<T: DncTask>(task: &T, mut partials: Vec<T::Acc>) -> T::Acc {
     while partials.len() > 1 {
         let leftover = if partials.len() % 2 == 1 {
@@ -528,11 +749,22 @@ pub fn reduce_tree<T: DncTask>(task: &T, mut partials: Vec<T::Acc>) -> T::Acc {
         .unwrap_or_else(|| task.identity())
 }
 
-/// Panic-isolated variant of [`reduce_tree`]: a panicking join is
-/// retried once on the calling thread (operands are cloned so the retry
-/// has them); a second failure is an error — with only partials in hand
-/// there is no raw input to re-run sequentially.
+/// Panic-isolated tree reduction: a panicking join is retried once on
+/// the calling thread (operands are cloned so the retry has them); a
+/// second failure is an error — with only partials in hand there is no
+/// raw input to re-run sequentially.
+#[deprecated(since = "0.4.0", note = "use `Executor::reduce_tree`")]
 pub fn try_reduce_tree<T: DncTask>(
+    task: &T,
+    partials: Vec<T::Acc>,
+) -> Result<RunOutcome<T::Acc>, RuntimeError>
+where
+    T::Acc: Clone,
+{
+    try_reduce_tree_impl(task, partials)
+}
+
+pub(crate) fn try_reduce_tree_impl<T: DncTask>(
     task: &T,
     mut partials: Vec<T::Acc>,
 ) -> Result<RunOutcome<T::Acc>, RuntimeError>
@@ -609,17 +841,26 @@ where
 }
 
 /// Run a map-only task: the `map` phase over all items in parallel
-/// (static partition), then the sequential `fold` in input order. Panic
-/// isolation and recovery mirror [`run_parallel`].
+/// (static partition), then the sequential `fold` in input order.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::new(RunConfig::default().with_threads(threads))\
+            .run_map_only(task, data)` and take `RunOutcome::value`"
+)]
 pub fn run_map_only<T: MapOnlyTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
-    match try_run_map_only(task, data, threads) {
+    match try_run_map_only_impl(task, data, threads, None) {
         Ok(outcome) => outcome.value,
         Err(e) => panic!("{e}"),
     }
 }
 
-/// Panic-isolated variant of [`run_map_only`], reporting retries and
-/// sequential degradation through [`RunOutcome`].
+/// Panic-isolated map-only run, reporting retries and sequential
+/// degradation through [`RunOutcome`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::new(RunConfig::default().with_threads(threads))\
+            .run_map_only(task, data)`"
+)]
 pub fn try_run_map_only<T: MapOnlyTask>(
     task: &T,
     data: &[T::Item],
@@ -628,9 +869,14 @@ pub fn try_run_map_only<T: MapOnlyTask>(
     try_run_map_only_impl(task, data, threads, None)
 }
 
-/// [`try_run_map_only`] with a deterministic fault schedule applied to
-/// every map-block attempt.
+/// Map-only run with a deterministic fault schedule applied to every
+/// map-block attempt.
 #[cfg(feature = "fault-inject")]
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Executor::new(RunConfig::default().with_threads(threads))\
+            .with_faults(plan.clone()).run_map_only(task, data)`"
+)]
 pub fn run_map_only_with_faults<T: MapOnlyTask>(
     task: &T,
     data: &[T::Item],
@@ -777,6 +1023,20 @@ fn try_run_map_only_impl<T: MapOnlyTask>(
 mod tests {
     use super::*;
 
+    /// `Executor` shorthands shared by every test below.
+    fn par<T: DncTask>(task: &T, data: &[T::Item], cfg: RunConfig) -> T::Acc {
+        Executor::new(cfg).run(task, data).expect("run").value
+    }
+    fn seq<T: DncTask>(task: &T, data: &[T::Item]) -> T::Acc {
+        Executor::default().run_sequential(task, data)
+    }
+    fn map_only<T: MapOnlyTask>(task: &T, data: &[T::Item], threads: usize) -> T::Acc {
+        Executor::new(RunConfig::default().with_threads(threads))
+            .run_map_only(task, data)
+            .expect("map-only run")
+            .value
+    }
+
     /// Sum task: trivially a homomorphism.
     struct Sum;
     impl DncTask for Sum {
@@ -819,20 +1079,20 @@ mod tests {
     #[test]
     fn static_backend_matches_sequential() {
         let d = data(10_000);
-        let seq = run_sequential(&Sum, &d);
+        let seq = seq(&Sum, &d);
         for threads in [1, 2, 4, 16] {
             let cfg = RunConfig::static_schedule(threads).with_grain(128);
-            assert_eq!(run_parallel(&Sum, &d, cfg), seq);
+            assert_eq!(par(&Sum, &d, cfg), seq);
         }
     }
 
     #[test]
     fn stealing_backend_matches_sequential() {
         let d = data(10_000);
-        let seq = run_sequential(&Sum, &d);
+        let seq = seq(&Sum, &d);
         for threads in [2, 3, 8] {
             let cfg = RunConfig::work_stealing(threads).with_grain(97);
-            assert_eq!(run_parallel(&Sum, &d, cfg), seq);
+            assert_eq!(par(&Sum, &d, cfg), seq);
         }
     }
 
@@ -845,7 +1105,7 @@ mod tests {
                 grain: 64,
                 backend,
             };
-            let out = run_parallel(&FirstLast, &d, cfg);
+            let out = par(&FirstLast, &d, cfg);
             assert_eq!(out, d, "backend {backend:?} reordered chunks");
         }
     }
@@ -854,7 +1114,7 @@ mod tests {
     fn small_inputs_short_circuit() {
         let d = data(10);
         let cfg = RunConfig::work_stealing(8); // grain 50k > len
-        assert_eq!(run_parallel(&Sum, &d, cfg), run_sequential(&Sum, &d));
+        assert_eq!(par(&Sum, &d, cfg), seq(&Sum, &d));
     }
 
     struct CountPositive;
@@ -876,9 +1136,9 @@ mod tests {
     #[test]
     fn map_only_matches_sequential_fold() {
         let d = data(3_333);
-        let seq = run_map_only(&CountPositive, &d, 1);
+        let seq = map_only(&CountPositive, &d, 1);
         for threads in [2, 5, 9] {
-            assert_eq!(run_map_only(&CountPositive, &d, threads), seq);
+            assert_eq!(map_only(&CountPositive, &d, threads), seq);
         }
     }
 
@@ -887,18 +1147,28 @@ mod tests {
         let d = data(4_000);
         // Non-commutative task: order must be preserved through the tree.
         let partials: Vec<Vec<i64>> = d.chunks(173).map(|c| FirstLast.work(c)).collect();
-        let tree = reduce_tree(&FirstLast, partials);
+        let tree = Executor::default()
+            .reduce_tree(&FirstLast, partials)
+            .unwrap()
+            .value;
         assert_eq!(tree, d);
         // And for odd chunk counts.
         let partials: Vec<Vec<i64>> = d.chunks(313).map(|c| FirstLast.work(c)).collect();
         assert_eq!(partials.len() % 2, 1);
-        assert_eq!(reduce_tree(&FirstLast, partials), d);
+        assert_eq!(
+            Executor::default()
+                .reduce_tree(&FirstLast, partials)
+                .unwrap()
+                .value,
+            d
+        );
     }
 
     #[test]
     fn tree_reduction_of_empty_and_singleton() {
-        assert_eq!(reduce_tree(&Sum, vec![]), 0);
-        assert_eq!(reduce_tree(&Sum, vec![41]), 41);
+        let exec = Executor::default();
+        assert_eq!(exec.reduce_tree(&Sum, vec![]).unwrap().value, 0);
+        assert_eq!(exec.reduce_tree(&Sum, vec![41]).unwrap().value, 41);
     }
 
     #[test]
@@ -923,7 +1193,7 @@ mod tests {
         let _guard = trace::set_ambient(trace::Tracer::from_sink(agg.clone()));
         let d = data(10_000);
         let cfg = RunConfig::work_stealing(4).with_grain(97);
-        assert_eq!(run_parallel(&Sum, &d, cfg), run_sequential(&Sum, &d));
+        assert_eq!(par(&Sum, &d, cfg), seq(&Sum, &d));
         let counters = agg.counters();
         let chunks = 10_000u64.div_ceil(97);
         assert_eq!(counters["execute.chunks"], chunks);
@@ -940,17 +1210,17 @@ mod tests {
         // executor must treat it as 1 (one item per chunk), not divide
         // by zero or spin.
         let d = data(257);
-        let seq = run_sequential(&Sum, &d);
+        let seq = seq(&Sum, &d);
         for backend in [Backend::Static, Backend::WorkStealing] {
             let cfg = RunConfig {
                 threads: 4,
                 grain: 0,
                 backend,
             };
-            assert_eq!(run_parallel(&Sum, &d, cfg), seq, "backend {backend:?}");
+            assert_eq!(par(&Sum, &d, cfg), seq, "backend {backend:?}");
         }
         assert_eq!(
-            run_parallel(
+            par(
                 &FirstLast,
                 &d,
                 RunConfig {
@@ -967,8 +1237,8 @@ mod tests {
     fn zero_and_one_element_inputs() {
         let empty: Vec<i64> = Vec::new();
         let cfg = RunConfig::work_stealing(4).with_grain(1);
-        assert_eq!(run_parallel(&Sum, &empty, cfg), 0);
-        assert_eq!(run_parallel(&Sum, &[42], cfg), 42);
+        assert_eq!(par(&Sum, &empty, cfg), 0);
+        assert_eq!(par(&Sum, &[42], cfg), 42);
     }
 
     /// Sum, but every chunk attempt on an unnamed thread panics. Scoped
@@ -1033,14 +1303,14 @@ mod tests {
     #[test]
     fn transient_worker_panics_recover_via_retry() {
         let d = data(1_000);
-        let seq = run_sequential(&Sum, &d);
+        let seq = seq(&Sum, &d);
         for backend in [Backend::Static, Backend::WorkStealing] {
             let cfg = RunConfig {
                 threads: 4,
                 grain: 100,
                 backend,
             };
-            let out = try_run_parallel(&WorkerShySum, &d, cfg).unwrap();
+            let out = Executor::new(cfg).run(&WorkerShySum, &d).unwrap();
             assert_eq!(out.value, seq, "backend {backend:?}");
             assert!(!out.degraded, "backend {backend:?} should recover in place");
             assert!(out.recovered_chunks > 0, "backend {backend:?}");
@@ -1050,7 +1320,7 @@ mod tests {
     #[test]
     fn persistent_worker_panics_degrade_to_sequential() {
         let d = data(300);
-        let seq = run_sequential(&Sum, &d);
+        let seq = seq(&Sum, &d);
         let task = SmallSlicePanic { full_len: d.len() };
         for backend in [Backend::Static, Backend::WorkStealing] {
             let cfg = RunConfig {
@@ -1058,13 +1328,13 @@ mod tests {
                 grain: 100,
                 backend,
             };
-            let out = try_run_parallel(&task, &d, cfg).unwrap();
+            let out = Executor::new(cfg).run(&task, &d).unwrap();
             assert_eq!(out.value, seq, "backend {backend:?}");
             assert!(out.degraded, "backend {backend:?} should have degraded");
         }
         // The infallible wrapper recovers transparently too.
         assert_eq!(
-            run_parallel(&task, &d, RunConfig::work_stealing(4).with_grain(100)),
+            par(&task, &d, RunConfig::work_stealing(4).with_grain(100)),
             seq
         );
     }
@@ -1073,7 +1343,7 @@ mod tests {
     fn broken_task_is_a_typed_error() {
         let d = data(300);
         let cfg = RunConfig::work_stealing(4).with_grain(100);
-        let err = try_run_parallel(&AlwaysPanics, &d, cfg).unwrap_err();
+        let err = Executor::new(cfg).run(&AlwaysPanics, &d).unwrap_err();
         let RuntimeError::WorkerPanicked { payload, .. } = err;
         assert_eq!(payload, "broken task");
     }
@@ -1097,13 +1367,10 @@ mod tests {
             }
         }
         let d = data(300);
-        let out = try_run_parallel(
-            &JoinPanics,
-            &d,
-            RunConfig::static_schedule(3).with_grain(50),
-        )
-        .unwrap();
-        assert_eq!(out.value, run_sequential(&Sum, &d));
+        let out = Executor::new(RunConfig::static_schedule(3).with_grain(50))
+            .run(&JoinPanics, &d)
+            .unwrap();
+        assert_eq!(out.value, seq(&Sum, &d));
         assert!(out.degraded);
     }
 
@@ -1136,7 +1403,7 @@ mod tests {
             calls: AtomicUsize::new(0),
         };
         let partials: Vec<Vec<i64>> = d.chunks(173).map(|c| c.to_vec()).collect();
-        let out = try_reduce_tree(&task, partials).unwrap();
+        let out = Executor::default().reduce_tree(&task, partials).unwrap();
         assert_eq!(out.value, d);
         assert_eq!(out.recovered_chunks, 1);
         assert!(!out.degraded);
@@ -1164,8 +1431,10 @@ mod tests {
             }
         }
         let d = data(1_000);
-        let seq = run_map_only(&CountPositive, &d, 1);
-        let out = try_run_map_only(&WorkerShyCount, &d, 4).unwrap();
+        let seq = map_only(&CountPositive, &d, 1);
+        let out = Executor::new(RunConfig::default().with_threads(4))
+            .run_map_only(&WorkerShyCount, &d)
+            .unwrap();
         assert_eq!(out.value, seq);
         assert!(!out.degraded);
         assert_eq!(out.recovered_chunks, 4);
@@ -1197,11 +1466,13 @@ mod tests {
             }
         }
         let d = data(1_000);
-        let seq = run_map_only(&CountPositive, &d, 1);
+        let seq = map_only(&CountPositive, &d, 1);
         let task = FlakyFold {
             calls: AtomicUsize::new(0),
         };
-        let out = try_run_map_only(&task, &d, 4).unwrap();
+        let out = Executor::new(RunConfig::default().with_threads(4))
+            .run_map_only(&task, &d)
+            .unwrap();
         assert_eq!(out.value, seq);
         assert!(out.degraded);
     }
@@ -1214,10 +1485,40 @@ mod tests {
         let d = data(300);
         let task = SmallSlicePanic { full_len: d.len() };
         let cfg = RunConfig::work_stealing(4).with_grain(100);
-        let out = try_run_parallel(&task, &d, cfg).unwrap();
+        let out = Executor::new(cfg).run(&task, &d).unwrap();
         assert!(out.degraded);
         let counters = agg.counters();
         // Chunk/join counters still reflect the attempted parallel plan.
         assert_eq!(counters["execute.chunks"], 3);
+    }
+
+    /// The pre-0.4 free functions remain faithful shims over the
+    /// `Executor` machinery — deprecated, not removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_are_faithful_shims() {
+        let d = data(2_000);
+        let cfg = RunConfig::work_stealing(3).with_grain(128);
+        let exec = Executor::new(cfg);
+        assert_eq!(run_sequential(&Sum, &d), exec.run_sequential(&Sum, &d));
+        assert_eq!(
+            run_parallel(&Sum, &d, cfg),
+            exec.run(&Sum, &d).unwrap().value
+        );
+        assert_eq!(
+            try_run_parallel(&Sum, &d, cfg).unwrap(),
+            exec.run(&Sum, &d).unwrap()
+        );
+        assert_eq!(
+            run_map_only(&CountPositive, &d, 3),
+            exec.run_map_only(&CountPositive, &d).unwrap().value
+        );
+        assert_eq!(
+            try_run_map_only(&CountPositive, &d, 3).unwrap().value,
+            map_only(&CountPositive, &d, 3)
+        );
+        let partials: Vec<Vec<i64>> = d.chunks(173).map(|c| c.to_vec()).collect();
+        assert_eq!(reduce_tree(&FirstLast, partials.clone()), d);
+        assert_eq!(try_reduce_tree(&FirstLast, partials).unwrap().value, d);
     }
 }

@@ -16,16 +16,28 @@
 //! * [`Backend::Static`] — OpenMP-flavoured static scheduling: exactly
 //!   one contiguous chunk per thread.
 //!
-//! A [map-only executor](run_map_only) covers the Prop. 4.3 case where
-//! the inner loop nest parallelizes but the outer fold stays sequential
-//! (balanced parentheses, §2.1).
+//! Since 0.4.0 every execution mode is a method on one entry point,
+//! [`Executor`]:
+//!
+//! * [`Executor::run`] — batch divide-and-conquer over a finished slice;
+//! * [`Executor::run_map_only`] — the Prop. 4.3 case where the inner
+//!   loop nest parallelizes but the outer fold stays sequential
+//!   (balanced parentheses, §2.1);
+//! * [`Executor::run_stream`] / [`Executor::stream`] — online
+//!   aggregation over chunked or unbounded input, emitting progressive
+//!   partial-prefix snapshots (the [`stream`]-module; sources include
+//!   [`stream::ReaderChunks`] and out-of-core [`stream::PagedFileChunks`]).
+//!
+//! The nine pre-0.4 free functions (`run_parallel`, `try_run_parallel`,
+//! …) remain as deprecated shims over the same machinery.
 //!
 //! All executors are panic-isolated: a worker panic is caught, its
-//! chunk retried once, and persistent failures degrade the run to
-//! sequential re-execution (see the `try_*` entry points and
+//! chunk retried once, and persistent failures degrade the run (or, when
+//! streaming, that stream chunk only) to sequential re-execution (see
 //! [`RunOutcome`]). The `fault-inject` cargo feature adds a seeded,
 //! deterministic fault-injection harness ([`faults`]-module) for
-//! exercising those recovery paths.
+//! exercising those recovery paths; [`Executor::with_faults`] applies a
+//! plan to every run.
 
 #![warn(clippy::unwrap_used)]
 
@@ -33,15 +45,22 @@ pub mod error;
 pub mod executor;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
+pub mod stream;
 pub mod task;
 
 pub use error::RuntimeError;
+#[allow(deprecated)]
 pub use executor::{
     reduce_tree, run_map_only, run_parallel, run_sequential, try_reduce_tree, try_run_map_only,
-    try_run_parallel, Backend, RunConfig, RunOutcome,
+    try_run_parallel,
 };
+#[allow(deprecated)]
 #[cfg(feature = "fault-inject")]
 pub use executor::{run_map_only_with_faults, run_parallel_with_faults};
+pub use executor::{Backend, Executor, RunConfig, RunOutcome};
 #[cfg(feature = "fault-inject")]
 pub use faults::{FaultKind, FaultPlan};
+#[cfg(unix)]
+pub use stream::{write_i64_records, PagedFileChunks};
+pub use stream::{ReaderChunks, StreamError, StreamOutcome, StreamSession, StreamSnapshot};
 pub use task::{DncTask, MapOnlyTask};

@@ -11,9 +11,7 @@ pub mod one_d;
 pub mod three_d;
 pub mod two_d;
 
-use parsynt_runtime::{
-    run_map_only, run_parallel, run_sequential, DncTask, MapOnlyTask, RunConfig,
-};
+use parsynt_runtime::{DncTask, Executor, MapOnlyTask, RunConfig};
 
 /// A prepared (input-materialized) workload instance.
 pub trait Prepared: Sync + Send {
@@ -73,10 +71,13 @@ pub struct PreparedDnc<I: Sync + Send, A: Send> {
 
 impl<I: Sync + Send, A: Send> Prepared for PreparedDnc<I, A> {
     fn sequential(&self) -> u64 {
-        (self.digest)(&run_sequential(&self.task, &self.data))
+        (self.digest)(&Executor::default().run_sequential(&self.task, &self.data))
     }
     fn parallel(&self, cfg: RunConfig) -> u64 {
-        (self.digest)(&run_parallel(&self.task, &self.data, cfg))
+        let out = Executor::new(cfg)
+            .run(&self.task, &self.data)
+            .expect("bench task must not panic");
+        (self.digest)(&out.value)
     }
     fn outer_len(&self) -> usize {
         self.data.len()
@@ -120,10 +121,17 @@ pub struct PreparedMapOnly<I: Sync + Send, M: Send, A: Send> {
 
 impl<I: Sync + Send, M: Send, A: Send> Prepared for PreparedMapOnly<I, M, A> {
     fn sequential(&self) -> u64 {
-        (self.digest)(&run_map_only(&self.task, &self.data, 1))
+        let exec = Executor::new(RunConfig::default().with_threads(1));
+        let out = exec
+            .run_map_only(&self.task, &self.data)
+            .expect("bench task must not panic");
+        (self.digest)(&out.value)
     }
     fn parallel(&self, cfg: RunConfig) -> u64 {
-        (self.digest)(&run_map_only(&self.task, &self.data, cfg.threads))
+        let out = Executor::new(cfg)
+            .run_map_only(&self.task, &self.data)
+            .expect("bench task must not panic");
+        (self.digest)(&out.value)
     }
     fn outer_len(&self) -> usize {
         self.data.len()

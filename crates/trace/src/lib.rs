@@ -86,6 +86,20 @@
 //! * `synthesize/screen_panic` (counter) — candidates whose screening
 //!   closure panicked (the candidate is treated as rejected).
 //!
+//! Streaming execution (`Executor::stream` / `run_stream_checked`):
+//!
+//! * `execute/interp_stream` (span) — one per interpreter-level
+//!   streaming run, wrapping every chunk;
+//! * `execute/stream_chunk` (point, `fields.chunk`, `fields.items`,
+//!   `fields.degraded`, `fields.recovered`) — one per consumed chunk:
+//!   its index, item count, and whether its parallel run degraded to
+//!   (or recovered via) a chunk-local sequential re-run;
+//! * `execute/stream_elements` (counter) — running total of streamed
+//!   elements, for elements/sec derivation from event timestamps;
+//! * `execute/stream_snapshot` (point, `fields.chunks`,
+//!   `fields.elements`, `fields.elements_per_sec`) — one per emitted
+//!   partial-prefix snapshot.
+//!
 //! ## Usage
 //!
 //! ```

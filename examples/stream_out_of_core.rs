@@ -1,0 +1,131 @@
+//! Out-of-core streaming: aggregate a binary file of `i64` records that
+//! is paged through a fixed window, never resident in memory at once.
+//!
+//! ```sh
+//! cargo run --release --example stream_out_of_core            # 20M records
+//! cargo run --release --example stream_out_of_core -- 80000000 2000000 8
+//! #                                        records ──┘  window ──┘   └─ threads
+//! ```
+//!
+//! Streams the file twice through `Executor::stream`: once under plain
+//! summation (the `sum2d` aggregate) and once under the Figure-1
+//! maximum-bottom-strip pair `(sum, mbs)` whose lifted join is
+//! `max(mbs_r, mbs_l + sum_r)` — the synthesized mbbs join, hand-coded
+//! as a native task. Prints throughput and per-snapshot latency; the
+//! measurements back experiment E10 in `EXPERIMENTS.md`.
+
+#[cfg(unix)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use parsynt::runtime::{DncTask, Executor, PagedFileChunks, RunConfig};
+    use std::io::Write;
+    use std::path::Path;
+    use std::time::{Duration, Instant};
+
+    /// Plain summation: the 1-D essence of the `sum2d` benchmark.
+    struct Sum;
+    impl DncTask for Sum {
+        type Item = i64;
+        type Acc = i64;
+        fn identity(&self) -> i64 {
+            0
+        }
+        fn work(&self, chunk: &[i64]) -> i64 {
+            chunk.iter().sum()
+        }
+        fn join(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    /// Maximum bottom-strip sum lifted with its auxiliary running sum
+    /// (Figure 1 of the paper): acc = (sum, mbs).
+    struct Mbs;
+    impl DncTask for Mbs {
+        type Item = i64;
+        type Acc = (i64, i64);
+        fn identity(&self) -> (i64, i64) {
+            (0, 0)
+        }
+        fn work(&self, chunk: &[i64]) -> (i64, i64) {
+            chunk
+                .iter()
+                .fold((0, 0), |(sum, mbs), &x| (sum + x, (mbs + x).max(0)))
+        }
+        fn join(&self, l: (i64, i64), r: (i64, i64)) -> (i64, i64) {
+            (l.0 + r.0, r.1.max(l.1 + r.0))
+        }
+    }
+
+    /// Page the file through one streaming session; report the final
+    /// aggregate, throughput, and the worst single-snapshot latency.
+    fn stream_file<T: DncTask<Item = i64>>(
+        name: &str,
+        exec: &Executor,
+        task: &T,
+        path: &Path,
+        window: usize,
+    ) -> Result<(), Box<dyn std::error::Error>>
+    where
+        T::Acc: Clone + std::fmt::Debug,
+    {
+        let mut session = exec.stream(task);
+        let mut snap_worst = Duration::ZERO;
+        let t0 = Instant::now();
+        for chunk in PagedFileChunks::open(path, window)? {
+            session.push_chunk(&chunk?)?;
+            let t = Instant::now();
+            let _ = session.snapshot();
+            snap_worst = snap_worst.max(t.elapsed());
+        }
+        let out = session.finish();
+        println!(
+            "  {name}: value {:?}\n  {name}: {:.1}M records/s ({:.0} MB/s), wall {:.2?}, worst snapshot {:.1?}, degraded {}",
+            out.value,
+            out.elements as f64 / out.elapsed.as_secs_f64() / 1e6,
+            out.elements as f64 * 8.0 / out.elapsed.as_secs_f64() / 1e6,
+            t0.elapsed(),
+            snap_worst,
+            out.degraded_chunks,
+        );
+        Ok(())
+    }
+
+    let mut args = std::env::args().skip(1);
+    let records: u64 = args.next().map_or(Ok(20_000_000), |s| s.parse())?;
+    let window: usize = args.next().map_or(Ok(1_000_000), |s| s.parse())?;
+    let threads: usize = args.next().map_or(Ok(4), |s| s.parse())?;
+
+    // Generate the input incrementally — the full dataset exists only on
+    // disk, mirroring how the streaming side reads it back.
+    let path = std::env::temp_dir().join(format!("parsynt-ooc-{}.bin", std::process::id()));
+    let started = Instant::now();
+    {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let mut x: u64 = 0x243F_6A88_85A3_08D3; // deterministic xorshift
+        for _ in 0..records {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.write_all(&(((x >> 1) % 1_000) as i64 - 495).to_le_bytes())?;
+        }
+        out.flush()?;
+    }
+    println!(
+        "wrote {records} records ({:.0} MB) in {:.2?}; window {window} records ({:.0} MB), {threads} threads",
+        (records * 8) as f64 / 1e6,
+        started.elapsed(),
+        window as f64 * 8.0 / 1e6,
+    );
+
+    let exec = Executor::new(RunConfig::work_stealing(threads));
+    stream_file("sum (sum2d aggregate)", &exec, &Sum, &path, window)?;
+    stream_file("mbs (Figure-1 join)  ", &exec, &Mbs, &path, window)?;
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("PagedFileChunks is Unix-only; nothing to demonstrate here.");
+}

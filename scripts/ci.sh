@@ -26,4 +26,34 @@ cargo test --workspace -q
 echo "== cargo test (fault injection) =="
 cargo test --features fault-inject -q
 
+# Streaming soundness: the any-chunking property suite plus the
+# fault-injected variant (seeded sweeps, snapshot prefix-equality).
+echo "== cargo test streaming (incl. fault injection) =="
+cargo test --test stream_props -q
+cargo test --test stream_props --features fault-inject -q
+cargo test -p parsynt-runtime stream -q
+cargo test -p parsynt-core stream -q
+
+# The nine pre-0.4 executor free functions are deprecated shims over
+# `Executor`; workspace code must not call them. The definitions and
+# their compatibility test live in crates/runtime/src/executor.rs,
+# which is excluded. Method calls (`.run_sequential(`, `exec.run(`...)
+# are fine — only free-function call syntax is gated.
+echo "== deprecated executor free functions =="
+# Six of the names are unique to the deprecated API and gated in any
+# call position (not preceded by `.` or an identifier character). The
+# other three (run_sequential, run_map_only, reduce_tree) collide with
+# `Executor` methods and `core::exec` functions, so only their
+# runtime-qualified paths are gated.
+deprecated_free_fns='(^|[^.[:alnum:]_])(run_parallel|try_run_parallel|run_parallel_with_faults|try_run_map_only|run_map_only_with_faults|try_reduce_tree)[[:space:]]*\('
+qualified_free_fns='(parsynt_)?runtime::(run_sequential|run_map_only|reduce_tree)[[:space:]]*\('
+offenders=$( (grep -rnE "$deprecated_free_fns" --include='*.rs' crates src tests ;
+              grep -rnE "$qualified_free_fns" --include='*.rs' crates src tests) \
+                | grep -v 'crates/runtime/src/executor.rs' || true )
+if [ -n "$offenders" ]; then
+    echo "error: workspace code calls deprecated executor free functions:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
 echo "CI gate passed."

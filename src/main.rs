@@ -140,6 +140,7 @@ USAGE:
   parsynt parallelize <file> [--values lo..hi | --brackets]
                              [--pair-width W] [--seed N]
   parsynt run <file> --threads N [--rows R] [--cols C] [--values lo..hi]
+              [--stream] [--chunk-rows R] [--snapshot-every K]
   parsynt check <file> [--tests N] [--values lo..hi | --brackets]
                        [--pair-width W]
   parsynt bench-list
@@ -162,6 +163,17 @@ Service (serve):
   --workers N       synthesis worker threads (default 4)
   --queue N         bounded request queue; overflow answers 503
   --trace-dir DIR   per-request JSONL traces as DIR/<request-id>.jsonl
+
+Streaming (run):
+  --stream            execute as an online aggregation: consume the
+                      input in chunks, fold each into the running state
+                      with the synthesized join, and print progressive
+                      partial-prefix snapshots; the final state is
+                      byte-identical to the batch run
+  --chunk-rows R      rows of the outer dimension per stream chunk
+                      (default 8)
+  --snapshot-every K  print a snapshot every K chunks (default 1;
+                      0 = only the final result)
 
 Synthesis (parallelize / run / check / bench):
   --synth-threads N  screen join/merge candidates on N worker threads
@@ -197,9 +209,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--queue",
     "--trace-dir",
+    "--chunk-rows",
+    "--snapshot-every",
 ];
 /// Boolean switches.
-const SWITCHES: &[&str] = &["--brackets", "--json"];
+const SWITCHES: &[&str] = &["--brackets", "--json", "--stream"];
 
 /// Parsed command arguments: positionals, `--flag value` pairs, and
 /// switches — rejecting anything unknown.
@@ -350,14 +364,17 @@ fn run_pipeline(
     program: &Program,
     profile: InputProfile,
     cfg: SynthConfig,
+    run: Option<parsynt::runtime::RunConfig>,
     sink: Option<&Arc<WriterSink<BufWriter<File>>>>,
     cache: Option<Arc<SolutionCache>>,
 ) -> Result<PipelineReport, CliError> {
-    let mut pipeline = Pipeline::new(program).configure(
-        PipelineConfig::default()
-            .with_profile(profile)
-            .with_synth(cfg),
-    );
+    let mut pipeline_cfg = PipelineConfig::default()
+        .with_profile(profile)
+        .with_synth(cfg);
+    if let Some(run) = run {
+        pipeline_cfg = pipeline_cfg.with_run(run);
+    }
+    let mut pipeline = Pipeline::new(program).configure(pipeline_cfg);
     if let Some(sink) = sink {
         pipeline = pipeline.sink_arc(Arc::clone(sink) as Arc<dyn TraceSink>);
     }
@@ -413,6 +430,7 @@ fn cmd_parallelize(cli: &Cli) -> Result<(), CliError> {
         &program,
         profile_from(cli)?,
         config_from(cli)?,
+        None,
         sink.as_ref(),
         cache_from(cli)?,
     )?;
@@ -434,10 +452,11 @@ fn cmd_run(cli: &Cli) -> Result<(), CliError> {
     let cols = cli.parsed::<usize>("--cols")?.unwrap_or(16);
     let program = load_program(cli)?;
     let sink = trace_sink(cli)?;
-    let report = run_pipeline(
+    let mut report = run_pipeline(
         &program,
         profile_from(cli)?,
         config_from(cli)?,
+        Some(parsynt::runtime::RunConfig::default().with_threads(threads)),
         sink.as_ref(),
         cache_from(cli)?,
     )?;
@@ -465,6 +484,11 @@ fn cmd_run(cli: &Cli) -> Result<(), CliError> {
     });
     let sequential =
         run_program(&plan.program, &inputs).map_err(|e| CliError::Exec(e.to_string()))?;
+
+    if cli.switch("--stream") {
+        return stream_run(cli, &mut report, &inputs, &sequential, threads, json);
+    }
+
     let exec = match &plan.outcome {
         Outcome::DivideAndConquer { .. } => run_divide_and_conquer_checked(plan, &inputs, threads)
             .map_err(|e| CliError::Exec(e.to_string()))?,
@@ -497,6 +521,76 @@ fn cmd_run(cli: &Cli) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `run --stream` mode: consume the generated input in
+/// `--chunk-rows` chunks as an online aggregation, printing progressive
+/// partial-prefix snapshots, then cross-check the end-of-input state
+/// against the sequential run.
+fn stream_run(
+    cli: &Cli,
+    report: &mut PipelineReport,
+    inputs: &[Value],
+    sequential: &parsynt::lang::interp::StateVec,
+    threads: usize,
+    json: bool,
+) -> Result<(), CliError> {
+    let chunk_rows = cli.parsed::<usize>("--chunk-rows")?.unwrap_or(8).max(1);
+    let snapshot_every = cli.parsed::<usize>("--snapshot-every")?.unwrap_or(1);
+    // The snapshot callback borrows the program while `report` is
+    // mutably borrowed by the streaming run; clone what printing needs.
+    let program = report.parallelization.program.clone();
+    let streamed = report
+        .execute_stream_with(inputs, chunk_rows, snapshot_every, |snap| {
+            if json {
+                return;
+            }
+            let values: Vec<String> = snap
+                .state
+                .entries()
+                .iter()
+                .filter(|(sym, _)| program.returns.contains(sym))
+                .map(|(sym, value)| format!("{} = {}", program.name(*sym), value))
+                .collect();
+            println!(
+                "  [stream] {:>6} rows in {:>3} chunks  {:>10.0} rows/s  {}",
+                snap.elements,
+                snap.chunks,
+                snap.elements_per_sec(),
+                values.join("  ")
+            );
+        })
+        .map_err(|e| CliError::Exec(e.to_string()))?;
+    if streamed != *sequential {
+        return Err(CliError::Exec(
+            "streamed result differs from sequential!".to_owned(),
+        ));
+    }
+    let block = report
+        .stream_report()
+        .expect("streaming run records its block")
+        .clone();
+    if json {
+        println!("{}", report.to_json_pretty());
+    } else {
+        println!(
+            "\nstreamed {} rows as {} chunks of ≤{chunk_rows} on {threads} threads \
+             ({} snapshots): end-of-input state matches the batch run ✓",
+            block.elements, block.chunks, block.snapshots
+        );
+        for (sym, value) in streamed.entries() {
+            if program.returns.contains(sym) {
+                println!("  {} = {}", program.name(*sym), value);
+            }
+        }
+    }
+    if block.degraded_chunks > 0 {
+        return Err(CliError::Degraded(format!(
+            "{} stream chunk(s) degraded to a sequential re-run",
+            block.degraded_chunks
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_check(cli: &Cli) -> Result<(), CliError> {
     let tests = cli.parsed::<usize>("--tests")?.unwrap_or(200);
     let program = load_program(cli)?;
@@ -505,6 +599,7 @@ fn cmd_check(cli: &Cli) -> Result<(), CliError> {
         &program,
         profile_from(cli)?,
         config_from(cli)?,
+        None,
         sink.as_ref(),
         cache_from(cli)?,
     )?;
@@ -581,6 +676,7 @@ fn cmd_bench(cli: &Cli) -> Result<(), CliError> {
         &program,
         b.profile.clone(),
         config_from(cli)?,
+        None,
         sink.as_ref(),
         cache_from(cli)?,
     )?;

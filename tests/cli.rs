@@ -75,6 +75,76 @@ fn run_sum_executes_and_agrees() {
     assert!(stdout.contains("s = "), "{stdout}");
 }
 
+/// `run --stream` pages the generated input through the executor in
+/// chunks, prints progressive snapshots, and cross-checks the
+/// end-of-input state against the batch run (the binary exits non-zero
+/// on any mismatch, so success here *is* the byte-identity check).
+#[test]
+fn run_stream_snapshots_and_agrees_with_batch() {
+    let (ok, stdout, stderr) = parsynt(&[
+        "run",
+        "programs/sum2d.psl",
+        "--threads",
+        "3",
+        "--rows",
+        "40",
+        "--cols",
+        "6",
+        "--stream",
+        "--chunk-rows",
+        "7",
+        "--snapshot-every",
+        "2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("[stream]"), "{stdout}");
+    assert!(stdout.contains("rows/s"), "{stdout}");
+    assert!(stdout.contains("matches the batch run"), "{stdout}");
+}
+
+/// The JSON report for a streamed run carries the optional `stream`
+/// block with chunk/element/snapshot counts, still under schema v1.
+#[test]
+fn run_stream_json_reports_the_stream_block() {
+    let (ok, stdout, stderr) = parsynt(&[
+        "run",
+        "programs/mbbs.psl",
+        "--threads",
+        "2",
+        "--rows",
+        "30",
+        "--cols",
+        "5",
+        "--stream",
+        "--chunk-rows",
+        "8",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let report: parsynt::core::PipelineReportJson =
+        serde_json::from_str(&stdout).expect("stdout is a PipelineReport");
+    let stream = report.stream.expect("stream block present");
+    assert_eq!(stream.chunks, 4, "{stdout}"); // ceil(30 / 8)
+    assert_eq!(stream.elements, 30, "{stdout}");
+    assert_eq!(stream.degraded_chunks, 0, "{stdout}");
+    assert!(stream.snapshots >= 1, "{stdout}");
+
+    // Batch runs stay byte-identical: no `stream` key at all.
+    let (ok, stdout, _) = parsynt(&[
+        "run",
+        "programs/mbbs.psl",
+        "--threads",
+        "2",
+        "--rows",
+        "10",
+        "--cols",
+        "4",
+        "--json",
+    ]);
+    assert!(ok);
+    assert!(!stdout.contains("\"stream\""), "{stdout}");
+}
+
 #[test]
 fn check_sum_verifies_the_law() {
     let (ok, stdout, stderr) = parsynt(&["check", "programs/sum2d.psl", "--tests", "30"]);

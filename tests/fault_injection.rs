@@ -9,10 +9,7 @@
 //! `cargo test --features fault-inject`.
 #![cfg(feature = "fault-inject")]
 
-use parsynt::runtime::{
-    run_map_only, run_map_only_with_faults, run_parallel_with_faults, run_sequential, Backend,
-    DncTask, FaultPlan, MapOnlyTask, RunConfig,
-};
+use parsynt::runtime::{Backend, DncTask, Executor, FaultPlan, MapOnlyTask, RunConfig};
 use parsynt::synth::parallel::screen_batch;
 use std::time::Duration;
 
@@ -64,7 +61,7 @@ fn mixed_plan(seed: u64) -> FaultPlan {
 #[test]
 fn transient_fault_sweep_is_byte_identical() {
     let d = data(5_000);
-    let baseline = run_sequential(&Concat, &d);
+    let baseline = Executor::default().run_sequential(&Concat, &d);
     for seed in 0..16 {
         let plan = mixed_plan(seed);
         for backend in [Backend::Static, Backend::WorkStealing] {
@@ -73,7 +70,9 @@ fn transient_fault_sweep_is_byte_identical() {
                 grain: 97,
                 backend,
             };
-            let out = run_parallel_with_faults(&Concat, &d, cfg, &plan)
+            let out = Executor::new(cfg)
+                .with_faults(plan.clone())
+                .run(&Concat, &d)
                 .unwrap_or_else(|e| panic!("seed {seed} backend {backend:?}: {e}"));
             assert_eq!(out.value, baseline, "seed {seed} backend {backend:?}");
             // Transient faults fire only on the first attempt, so the
@@ -86,12 +85,14 @@ fn transient_fault_sweep_is_byte_identical() {
 #[test]
 fn persistent_fault_sweep_recovers_via_sequential_fallback() {
     let d = data(5_000);
-    let baseline = run_sequential(&Concat, &d);
+    let baseline = Executor::default().run_sequential(&Concat, &d);
     let mut degraded_runs = 0usize;
     for seed in 0..16 {
         let plan = mixed_plan(seed).persistent(true);
         let cfg = RunConfig::work_stealing(4).with_grain(97);
-        let out = run_parallel_with_faults(&Concat, &d, cfg, &plan)
+        let out = Executor::new(cfg)
+            .with_faults(plan)
+            .run(&Concat, &d)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(out.value, baseline, "seed {seed}");
         degraded_runs += usize::from(out.degraded);
@@ -104,16 +105,61 @@ fn persistent_fault_sweep_recovers_via_sequential_fallback() {
 #[test]
 fn map_only_fault_sweep_is_byte_identical() {
     let d = data(4_000);
-    let baseline = run_map_only(&CountPositive, &d, 1);
+    let baseline = Executor::new(RunConfig::default().with_threads(1))
+        .run_map_only(&CountPositive, &d)
+        .expect("fault-free baseline")
+        .value;
+    let four = RunConfig::default().with_threads(4);
     for seed in 0..16 {
-        let plan = mixed_plan(seed);
-        let out = run_map_only_with_faults(&CountPositive, &d, 4, &plan)
+        let out = Executor::new(four)
+            .with_faults(mixed_plan(seed))
+            .run_map_only(&CountPositive, &d)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(out.value, baseline, "seed {seed}");
-        let persistent = mixed_plan(seed).persistent(true);
-        let out = run_map_only_with_faults(&CountPositive, &d, 4, &persistent)
+        let out = Executor::new(four)
+            .with_faults(mixed_plan(seed).persistent(true))
+            .run_map_only(&CountPositive, &d)
             .unwrap_or_else(|e| panic!("seed {seed} (persistent): {e}"));
         assert_eq!(out.value, baseline, "seed {seed} (persistent)");
+    }
+}
+
+/// Streaming under injected faults: for every seed, both transient and
+/// persistent fault plans must leave every mid-stream snapshot equal to
+/// the fault-free aggregate of the exact consumed prefix (not just the
+/// final value), with the non-commutative task catching any reorder.
+#[test]
+fn streaming_fault_sweep_has_byte_identical_snapshots() {
+    let d = data(5_000);
+    let chunk_len = 613; // deliberately not a divisor of the length
+    for seed in 0..16 {
+        for persistent in [false, true] {
+            let plan = mixed_plan(seed).persistent(persistent);
+            let exec = Executor::new(RunConfig::work_stealing(4).with_grain(97)).with_faults(plan);
+            let mut session = exec.stream(&Concat);
+            let mut consumed = 0usize;
+            for chunk in d.chunks(chunk_len) {
+                session
+                    .push_chunk(chunk)
+                    .unwrap_or_else(|e| panic!("seed {seed} persistent {persistent}: {e}"));
+                consumed += chunk.len();
+                let snap = session.snapshot();
+                assert_eq!(
+                    snap.value,
+                    d[..consumed],
+                    "seed {seed} persistent {persistent}: prefix of {consumed}"
+                );
+                assert_eq!(snap.elements, consumed as u64);
+            }
+            let out = session.finish();
+            assert_eq!(out.value, d, "seed {seed} persistent {persistent}");
+            assert_eq!(out.elements, d.len() as u64);
+            if !persistent {
+                // Transient faults fire only on attempt 0; the single
+                // retry absorbs them without degrading any chunk.
+                assert_eq!(out.degraded_chunks, 0, "seed {seed}");
+            }
+        }
     }
 }
 

@@ -1,0 +1,152 @@
+//! Streaming soundness properties: for *any* chunking of *any*
+//! generated input, the streaming aggregate at end-of-input equals
+//! `run_sequential` on the concatenation, and every mid-stream snapshot
+//! equals the sequential aggregate of exactly the consumed prefix. The
+//! task is non-commutative concatenation, so any reordered, dropped, or
+//! duplicated chunk falsifies the property.
+
+use parsynt::runtime::{Backend, DncTask, Executor, RunConfig};
+use proptest::prelude::*;
+
+/// Non-commutative concatenation over i64 items.
+struct Concat;
+impl DncTask for Concat {
+    type Item = i64;
+    type Acc = Vec<i64>;
+    fn identity(&self) -> Vec<i64> {
+        Vec::new()
+    }
+    fn work(&self, chunk: &[i64]) -> Vec<i64> {
+        chunk.to_vec()
+    }
+    fn join(&self, mut l: Vec<i64>, r: Vec<i64>) -> Vec<i64> {
+        l.extend(r);
+        l
+    }
+}
+
+/// Paired sum + minimum: a second task whose accumulator mixes values
+/// rather than preserving them, catching join-order bugs Concat cannot
+/// (e.g. an identity element folded in at the wrong moment).
+struct SumMin;
+impl DncTask for SumMin {
+    type Item = i64;
+    type Acc = (i64, i64);
+    fn identity(&self) -> (i64, i64) {
+        (0, i64::MAX)
+    }
+    fn work(&self, chunk: &[i64]) -> (i64, i64) {
+        chunk
+            .iter()
+            .fold((0, i64::MAX), |(s, m), &x| (s + x, m.min(x)))
+    }
+    fn join(&self, l: (i64, i64), r: (i64, i64)) -> (i64, i64) {
+        (l.0 + r.0, l.1.min(r.1))
+    }
+}
+
+/// Split `data` at the given cut points (any subset of positions).
+fn chunkings(data: &[i64], cuts: &[usize]) -> Vec<Vec<i64>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (data.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(data.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .map(|w| data[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// End-of-input equality for arbitrary data, arbitrary cut points,
+    /// both backends, and varying grain.
+    #[test]
+    fn any_chunking_streams_to_the_sequential_aggregate(
+        data in proptest::collection::vec(-1_000i64..1_000, 0..400),
+        cuts in proptest::collection::vec(0usize..400, 0..12),
+        grain in 1usize..64,
+        stealing in any::<bool>(),
+    ) {
+        let backend = if stealing { Backend::WorkStealing } else { Backend::Static };
+        let cfg = RunConfig { threads: 3, grain, backend };
+        let exec = Executor::new(cfg);
+        let expected = exec.run_sequential(&Concat, &data);
+        let chunks = chunkings(&data, &cuts);
+        let out = exec.run_stream(&Concat, &chunks).unwrap();
+        prop_assert_eq!(&out.value, &expected);
+        prop_assert_eq!(out.elements, data.len() as u64);
+        prop_assert_eq!(out.degraded_chunks, 0);
+
+        let expected2 = exec.run_sequential(&SumMin, &data);
+        let out2 = exec.run_stream(&SumMin, &chunks).unwrap();
+        prop_assert_eq!(out2.value, expected2);
+    }
+
+    /// Prefix equality of every snapshot: after each pushed chunk the
+    /// snapshot equals `run_sequential` on exactly the consumed prefix.
+    #[test]
+    fn every_snapshot_is_the_aggregate_of_its_prefix(
+        data in proptest::collection::vec(-1_000i64..1_000, 1..300),
+        cuts in proptest::collection::vec(0usize..300, 0..10),
+    ) {
+        let exec = Executor::new(RunConfig::work_stealing(2).with_grain(16));
+        let mut session = exec.stream(&Concat);
+        let mut consumed = 0usize;
+        for chunk in chunkings(&data, &cuts) {
+            session.push_chunk(&chunk).unwrap();
+            consumed += chunk.len();
+            let snap = session.snapshot();
+            prop_assert_eq!(&snap.value, &data[..consumed]);
+            prop_assert_eq!(snap.elements, consumed as u64);
+        }
+        let out = session.finish();
+        prop_assert_eq!(out.value, data);
+    }
+}
+
+/// The same properties under seeded fault injection: 16-seed sweep,
+/// transient and persistent plans, snapshot prefix-equality throughout.
+#[cfg(feature = "fault-inject")]
+mod faulty {
+    use super::*;
+    use parsynt::runtime::FaultPlan;
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn snapshots_stay_prefix_exact_under_faults(
+            data in proptest::collection::vec(-500i64..500, 1..300),
+            cuts in proptest::collection::vec(0usize..300, 0..8),
+            seed in 0u64..16,
+            persistent in any::<bool>(),
+        ) {
+            let plan = FaultPlan::seeded(seed)
+                .with_panic_rate(0.25)
+                .with_poison_rate(0.15)
+                .with_delay(0.05, Duration::from_micros(200))
+                .persistent(persistent);
+            let exec = Executor::new(RunConfig::work_stealing(4).with_grain(13))
+                .with_faults(plan);
+            let mut session = exec.stream(&Concat);
+            let mut consumed = 0usize;
+            for chunk in chunkings(&data, &cuts) {
+                session.push_chunk(&chunk).unwrap();
+                consumed += chunk.len();
+                let snap = session.snapshot();
+                prop_assert_eq!(&snap.value, &data[..consumed]);
+            }
+            let out = session.finish();
+            prop_assert_eq!(&out.value, &data);
+            if !persistent {
+                // Transient faults fire only on the first attempt, so
+                // the retry always absorbs them without degrading.
+                prop_assert_eq!(out.degraded_chunks, 0);
+            }
+        }
+    }
+}
